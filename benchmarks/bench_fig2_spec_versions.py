@@ -1,0 +1,29 @@
+"""Figure 2: SPEC-proxy speedups across the QEMU version timeline.
+
+Regenerates the sjeng / mcf / overall-SPEC series (baseline v1.7.0)
+and records the sweep's cost.  Shape targets: sjeng peaks around
+v2.2.1 and stays above baseline; mcf declines markedly; the overall
+rating declines by roughly 5-10%.
+"""
+
+from repro.analysis import figures
+
+
+def test_fig2_spec_version_sweep(benchmark, save_artifact):
+    data = benchmark.pedantic(
+        lambda: figures.figure2(scale=0.5), rounds=1, iterations=1
+    )
+    text = figures.render_series(
+        data, title="Figure 2: SPEC proxies across QEMU versions (ARM guest)"
+    )
+    save_artifact("fig2_spec_versions.txt", text)
+    print()
+    print(text)
+    # Shape checks (the bench fails loudly if the story breaks).
+    sjeng = dict(zip(data["versions"], data["series"]["sjeng"]))
+    mcf = dict(zip(data["versions"], data["series"]["mcf"]))
+    overall = dict(zip(data["versions"], data["series"]["SPEC (overall)"]))
+    assert sjeng["v2.2.1"] == max(data["series"]["sjeng"])
+    assert mcf["v2.5.0-rc2"] < 0.95
+    assert overall["v2.5.0-rc2"] < 1.0
+    assert overall["v2.0.0"] > 1.0

@@ -1,0 +1,37 @@
+"""Figures 4 and 5: the qualitative feature matrix and host details.
+
+These are static tables, but regenerating Figure 4 instantiates every
+engine and queries its real configuration, so the bench guards against
+the implementations drifting from their documented structure.
+"""
+
+from repro.analysis import figures
+
+
+def test_fig4_feature_matrix(benchmark, save_artifact):
+    matrix = benchmark.pedantic(figures.figure4, rounds=1, iterations=1)
+    text = figures.render_figure4(matrix, title="Figure 4: implementation features")
+    save_artifact("fig4_features.txt", text)
+    print()
+    print(text)
+    assert matrix["qemu-dbt"]["Code Generation"] == "Block-based"
+    assert matrix["qemu-dbt"]["Interrupts"] == "Block Boundaries"
+    assert matrix["simit"]["Interrupts"] == "Insn. Boundaries"
+    assert matrix["gem5"]["Interrupts"] == "Insn. Boundaries"
+    assert matrix["qemu-kvm"]["Interrupts"] == "Via Emulation Layer"
+    assert matrix["native"]["Interrupts"] == "Direct"
+
+
+def test_fig5_host_platforms(benchmark, save_artifact):
+    hosts = benchmark.pedantic(figures.figure5, rounds=1, iterations=1)
+    lines = ["Figure 5: simulated host platforms"]
+    for name, info in hosts.items():
+        lines.append("")
+        lines.append("[%s]" % name)
+        for key, value in info.items():
+            lines.append("  %-14s %s" % (key, value))
+    text = "\n".join(lines)
+    save_artifact("fig5_hosts.txt", text)
+    print()
+    print(text)
+    assert set(hosts) == {"arm", "x86"}

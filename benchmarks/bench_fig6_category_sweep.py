@@ -1,0 +1,64 @@
+"""Figure 6: per-category SimBench speedups across QEMU versions.
+
+Regenerates all five panels for both guest profiles.  Shape targets
+from the paper: the v2.0.0 improvement is broad; data-fault handling
+jumps dramatically at v2.5.0-rc0 (more on ARM than on x86); control
+flow and (non-data-fault) exception handling decline steadily; TLB
+maintenance improves steadily.
+"""
+
+import pytest
+
+from repro.analysis import figures
+from repro.arch import ARM, X86
+from repro.platform import PCPLAT, VEXPRESS
+
+
+@pytest.mark.parametrize(
+    "arch,platform",
+    [(ARM, VEXPRESS), (X86, PCPLAT)],
+    ids=["arm-guest", "x86-guest"],
+)
+def test_fig6_category_sweep(benchmark, save_artifact, arch, platform):
+    data = benchmark.pedantic(
+        lambda: figures.figure6(arch, platform, scale=0.5), rounds=1, iterations=1
+    )
+    text = figures.render_figure6(
+        data, title="Figure 6 (%s guest): SimBench across QEMU versions" % arch.name
+    )
+    save_artifact("fig6_sweep_%s.txt" % arch.name, text)
+    print()
+    print(text)
+
+    def series(group, name):
+        return dict(zip(data["versions"], data["panels"][group][name]))
+
+    # Data-fault fast path lands at v2.5.0-rc0.
+    data_fault = series("Exception Handling", "Data Access Fault")
+    assert data_fault["v2.5.0-rc0"] > 2.0 * data_fault["v2.4.1"]
+    # Other exception handling declines.
+    assert series("Exception Handling", "System Call")["v2.5.0-rc2"] < 0.8
+    # Control flow declines.
+    assert series("Control Flow", "Intra-Page Direct")["v2.5.0-rc2"] < 0.9
+    # TLB maintenance improves markedly.
+    assert series("Memory System", "TLB Flush")["v2.5.0-rc2"] > 1.5
+    # Code generation improved with the 2.0 TCG optimiser work.
+    assert series("Code Generation", "Small Blocks")["v2.0.0"] > 1.1
+
+
+def test_fig6_data_fault_jump_is_larger_on_arm(benchmark):
+    def both():
+        arm = figures.figure6(ARM, VEXPRESS, scale=0.3)
+        x86 = figures.figure6(X86, PCPLAT, scale=0.3)
+        return arm, x86
+
+    arm, x86 = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    def jump(data):
+        fault = dict(
+            zip(data["versions"], data["panels"]["Exception Handling"]["Data Access Fault"])
+        )
+        return fault["v2.5.0-rc0"] / fault["v2.4.1"]
+
+    # Paper: ~8x on ARM vs ~4x on x86 (off the scale in their plots).
+    assert jump(arm) > jump(x86) > 1.5

@@ -1,0 +1,33 @@
+"""Figure 8: geomean SPEC vs SimBench speedups across QEMU versions.
+
+Both aggregates are baselined at v1.7.0.  Shape targets: both improve
+at v2.0.0 and both decline by the end of the timeline; SimBench swings
+more widely than SPEC (it isolates the affected operations instead of
+averaging them away).
+"""
+
+from repro.analysis import figures
+
+
+def test_fig8_spec_vs_simbench_geomean(benchmark, save_artifact):
+    def build():
+        fig2 = figures.figure2(scale=0.5)
+        fig6 = figures.figure6(scale=0.5)
+        return figures.figure8(figure2_data=fig2, figure6_data=fig6)
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = figures.render_series(
+        data, title="Figure 8: geomean speedup across QEMU versions (ARM guest)"
+    )
+    save_artifact("fig8_geomean.txt", text)
+    print()
+    print(text)
+
+    spec = dict(zip(data["versions"], data["series"]["SPEC"]))
+    simbench = dict(zip(data["versions"], data["series"]["SimBench"]))
+    assert spec["v2.0.0"] > 1.0 and simbench["v2.0.0"] > 1.0
+    assert spec["v2.5.0-rc2"] < 1.0
+    # SimBench's swing exceeds SPEC's: it does not average effects away.
+    spec_range = max(spec.values()) - min(spec.values())
+    simbench_range = max(simbench.values()) - min(simbench.values())
+    assert simbench_range > spec_range

@@ -1,0 +1,28 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures and
+writes the rendered text to ``benchmarks/results/`` so the artefacts
+can be inspected after a run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    def _save(name, text):
+        path = results_dir / name
+        path.write_text(text)
+        return path
+
+    return _save

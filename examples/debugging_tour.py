@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A tour of the developer tooling: debugger, tracer, snapshots.
+
+Simulator projects live or die by their bring-up tooling.  This example
+walks a small guest program with the GDB-style debugger, traces its
+instruction stream, and uses a machine snapshot to re-run the same
+warmed-up state on two different engines.
+"""
+
+from repro.arch import ARM
+from repro.isa.assembler import assemble
+from repro.machine import Board
+from repro.machine.snapshot import restore, snapshot
+from repro.platform import VEXPRESS
+from repro.sim import DBTSimulator, FastInterpreter
+from repro.sim.debug import Debugger
+from repro.sim.trace import Tracer
+
+PROGRAM = """
+.org 0x8000
+_start:
+    li sp, 0x100000
+    movi r1, 4          ; loop counter
+    li r6, 0x2000000    ; accumulator cell
+loop:
+    ldr r2, [r6]
+    addi r2, r2, 25
+    str r2, [r6]
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop
+done:
+    halt #0
+"""
+
+
+def fresh_board():
+    board = Board(VEXPRESS)
+    board.load(assemble(PROGRAM))
+    return board
+
+
+def main():
+    program = assemble(PROGRAM)
+
+    print("1. Debugger: break at the loop, watch the accumulator")
+    print("=" * 60)
+    board = fresh_board()
+    engine = FastInterpreter(board, arch=ARM)
+    dbg = Debugger(engine)
+    dbg.add_breakpoint(program.symbol("loop"))
+    reason = dbg.cont()
+    print("   stopped (%s) at %s" % (reason, dbg.where()))
+    dbg.remove_breakpoint(program.symbol("loop"))
+    dbg.add_watchpoint(0x2000000)
+    while dbg.cont() == "watchpoint":
+        _reason, _pc, (addr, value) = dbg.hits[-1]
+        print("   watchpoint: [0x%08x] <- %d   (next: %s)" % (addr, value, dbg.where()))
+    print("   finished; r2 = %d" % dbg.read_registers()["r2"])
+
+    print()
+    print("2. Tracer: the exact instruction stream")
+    print("=" * 60)
+    board = fresh_board()
+    engine = FastInterpreter(board, arch=ARM)
+    with Tracer(engine, limit=12) as tracer:
+        engine.run(max_insns=10_000)
+    for record in tracer.records:
+        print("  %r" % record)
+    print("   ... (%d instructions total; opcode histogram: %s)"
+          % (engine.counters.instructions, tracer.summary()))
+
+    print()
+    print("3. Snapshot: warm up once, re-run on two engines")
+    print("=" * 60)
+    board = fresh_board()
+    warm = FastInterpreter(board, arch=ARM)
+    warm.run(max_insns=9)  # through the prologue, parked at the loop
+    snap = snapshot(board)
+    print("   snapshot after prologue: %r" % snap)
+    for engine_cls in (FastInterpreter, DBTSimulator):
+        restore(board, snap)
+        engine = engine_cls(board, arch=ARM)
+        result = engine.run(max_insns=10_000)
+        print("   %-10s resumed and %s with [0x2000000] = %d"
+              % (engine_cls.name, result.exit_reason.value,
+                 board.memory.read32(0x2000000)))
+
+
+if __name__ == "__main__":
+    main()

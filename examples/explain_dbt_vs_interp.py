@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Section III-B.1: explain the DBT vs interpretation performance gap.
+
+Runs the full SimBench suite on the DBT engine, the fast interpreter
+and the detailed interpreter (ARM guest), prints the Figure 7 columns,
+and derives the paper's explanations from the engines' own event
+counters:
+
+- the Code Generation benchmarks are *faster* interpreted, because the
+  DBT engine must retranslate every rewritten block;
+- Cold Memory Access favours the interpreter's simpler MMU;
+- everywhere hot, translated code wins by an order of magnitude;
+- the detailed interpreter's per-instruction machinery makes it
+  uniformly slowest.
+"""
+
+from repro.arch import ARM
+from repro.core import Harness
+from repro.platform import VEXPRESS
+
+SIMULATORS = ("qemu-dbt", "simit", "gem5")
+
+
+def main():
+    harness = Harness()
+    results = {}
+    for simulator in SIMULATORS:
+        results[simulator] = harness.run_suite(simulator, ARM, VEXPRESS, scale=0.5).by_name()
+
+    print("%-28s %12s %12s %12s" % ("benchmark (modeled ms)", *SIMULATORS))
+    for name, dbt in results["qemu-dbt"].items():
+        row = ["%-28s" % name]
+        for simulator in SIMULATORS:
+            res = results[simulator][name]
+            row.append("%12.4f" % (res.kernel_ns / 1e6) if res.ok else "%12s" % res.status)
+        print(" ".join(row))
+
+    print()
+    print("Why the interpreter wins Code Generation:")
+    for name in ("Small Blocks", "Large Blocks"):
+        dbt = results["qemu-dbt"][name].kernel_delta
+        interp = results["simit"][name].kernel_delta
+        print(
+            "  %-14s dbt: %5d retranslations (%6d insns regenerated); "
+            "interpreter: %5d cheap decode invalidations"
+            % (
+                name + ":",
+                dbt["translations"],
+                dbt["translated_insns"],
+                interp["smc_invalidations"],
+            )
+        )
+
+    print()
+    print("Why DBT wins hot code:")
+    hot = results["qemu-dbt"]["Hot Memory Access"].kernel_delta
+    print(
+        "  Hot Memory Access on dbt: %d chained block transitions vs %d dispatcher"
+        " lookups -- translated code runs back-to-back."
+        % (hot["chain_follows"], hot["slow_dispatches"])
+    )
+
+    print()
+    print("Why the interpreter wins the cold path:")
+    print(
+        "  Cold Memory Access: the interpreter's MMU model is cheaper to evaluate"
+        " per TLB miss than the DBT engine's softmmu refill (the paper makes the"
+        " same observation about SimIt-ARM vs QEMU's multi-version page tables)."
+    )
+
+    print()
+    print("Why the detailed interpreter is slowest everywhere:")
+    gem5 = results["gem5"]["Intra-Page Direct"].kernel_delta
+    print(
+        "  Intra-Page Direct on gem5: %d micro-ops and %d tick events for %d"
+        " instructions -- detail has a uniform price."
+        % (gem5["micro_ops"], gem5["tick_events"], gem5["instructions"])
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The motivating example: hunt a QEMU performance regression.
+
+Reproduces the paper's core narrative (Sections I-A and III-B.3):
+
+1. Application benchmarks show *that* something regressed: the SPEC
+   proxies' overall rating declines across QEMU versions, with mcf
+   hit far harder than sjeng -- but give no clue *why*.
+2. SimBench shows *what* regressed: sweeping the micro-benchmarks over
+   the same versions pinpoints control-flow dispatch and exception
+   handling as the declining operations (and shows the v2.5.0-rc0
+   data-fault fast path that no application benchmark can see).
+"""
+
+from repro.analysis import figures
+from repro.analysis.sweep import VersionSweep
+from repro.arch import ARM
+from repro.core.suite import get_benchmark
+from repro.platform import VEXPRESS
+from repro.sim.dbt.versions import CHANGELOG
+
+
+def main():
+    print("Step 1: what the application suite shows")
+    print("=" * 60)
+    fig2 = figures.figure2(scale=0.5)
+    print(figures.render_series(fig2, title=""))
+    last = -1
+    print()
+    print("  -> overall SPEC rating at %s: %.3f (down from 1.0)"
+          % (fig2["versions"][last], fig2["series"]["SPEC (overall)"][last]))
+    print("  -> mcf: %.3f   sjeng: %.3f -- divergent, unexplained."
+          % (fig2["series"]["mcf"][last], fig2["series"]["sjeng"][last]))
+
+    print()
+    print("Step 2: what SimBench shows")
+    print("=" * 60)
+    sweep = VersionSweep(ARM, VEXPRESS)
+    suspects = {
+        "Intra-Page Direct": "control-flow dispatch",
+        "Inter-Page Indirect": "translation lookup",
+        "System Call": "exception handling",
+        "Data Access Fault": "data-fault handling",
+        "TLB Flush": "TLB maintenance",
+    }
+    verdicts = []
+    for name, mechanism in suspects.items():
+        series = sweep.run(get_benchmark(name), iterations=200)
+        speedups = series.speedups()
+        verdicts.append((name, mechanism, speedups[-1], speedups))
+    for name, mechanism, final, _ in sorted(verdicts, key=lambda v: v[2]):
+        trend = "REGRESSED" if final < 0.9 else ("improved" if final > 1.1 else "stable")
+        print("  %-22s (%-22s) final speedup %.2f  %s" % (name, mechanism, final, trend))
+
+    print()
+    print("Step 3: attribute the regression")
+    print("=" * 60)
+    print("  Control flow and exception handling decline steadily -- the")
+    print("  operations mcf's call/return-heavy profile leans on; sjeng's")
+    print("  straight-line compute rides the TCG optimiser improvements.")
+    print("  The data-fault jump at v2.5.0-rc0 is invisible in SPEC, as the")
+    print("  paper observes (data faults are vanishingly rare there).")
+    print()
+    print("Synthetic changelog used by this reproduction:")
+    for version, note in CHANGELOG.items():
+        print("  %-12s %s" % (version, note))
+
+
+if __name__ == "__main__":
+    main()

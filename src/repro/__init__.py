@@ -1,0 +1,19 @@
+"""SimBench reproduction: a portable benchmarking methodology for
+full-system simulators (Wagstaff, Bodin, Spink & Franke, ISPASS 2017).
+
+The library is organised as follows:
+
+- :mod:`repro.isa` -- the SRV32 guest ISA (encodings, assembler).
+- :mod:`repro.machine` -- the simulated hardware substrate.
+- :mod:`repro.arch` / :mod:`repro.platform` -- retargeting packages.
+- :mod:`repro.sim` -- the five execution engines.
+- :mod:`repro.core` -- the SimBench suite and harness (the paper's
+  primary contribution).
+- :mod:`repro.lang` -- the MiniC compiler used to build workloads.
+- :mod:`repro.workloads` -- SPEC CPU2006 INT proxy applications.
+- :mod:`repro.analysis` -- experiment drivers and figure regeneration.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,22 @@
+"""Experiment drivers and figure/table regeneration.
+
+- :mod:`repro.analysis.stats` -- geometric means and speedup helpers;
+- :mod:`repro.analysis.sweep` -- the QEMU version sweep driver;
+- :mod:`repro.analysis.figures` -- regenerates every table and figure
+  of the paper's evaluation (Figures 2-8), returning structured data
+  plus text renderings.
+"""
+
+from repro.analysis.stats import geomean, speedups_vs_baseline
+from repro.analysis.sweep import VersionSweep, SweepSeries
+from repro.analysis import figures
+from repro.analysis import sandbox
+
+__all__ = [
+    "geomean",
+    "speedups_vs_baseline",
+    "VersionSweep",
+    "SweepSeries",
+    "figures",
+    "sandbox",
+]

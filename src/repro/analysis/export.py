@@ -1,0 +1,78 @@
+"""CSV export of figure data (for external plotting tools).
+
+Every figure function in :mod:`repro.analysis.figures` returns plain
+data; these helpers serialise the common shapes to CSV text so results
+can be plotted with gnuplot/matplotlib/spreadsheets without touching
+the library.
+"""
+
+import csv
+import io
+
+
+def series_to_csv(figure_data, index_name="version"):
+    """Serialise a ``{versions/..., series: {name: [values]}}`` figure
+    (Figures 2 and 8) to CSV text."""
+    index = figure_data.get("versions")
+    if index is None:
+        raise ValueError("figure data has no 'versions' index")
+    series = figure_data["series"]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([index_name] + list(series))
+    for row_index, label in enumerate(index):
+        writer.writerow(
+            [label] + ["%.6f" % series[name][row_index] for name in series]
+        )
+    return buffer.getvalue()
+
+
+def figure6_to_csv(figure_data):
+    """Serialise Figure 6 (per-category panels) to one flat CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["group", "benchmark", "version", "speedup"])
+    for group, panel in figure_data["panels"].items():
+        for benchmark, speedups in panel.items():
+            for version, speedup in zip(figure_data["versions"], speedups):
+                writer.writerow([group, benchmark, version, "%.6f" % speedup])
+    return buffer.getvalue()
+
+
+def figure7_to_csv(figure7_data):
+    """Serialise Figure 7 (the main table) to CSV; empty cells are the
+    status strings (``unsupported`` / ``not-applicable``)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["guest", "benchmark", "simulator", "seconds_or_status"])
+    for arch_name, table in figure7_data["seconds"].items():
+        status = figure7_data["status"][arch_name]
+        for simulator, cells in table.items():
+            for benchmark, seconds in cells.items():
+                if seconds is None:
+                    value = status[simulator][benchmark]
+                else:
+                    value = "%.9f" % seconds
+                writer.writerow([arch_name, benchmark, simulator, value])
+    return buffer.getvalue()
+
+
+def density_to_csv(rows):
+    """Serialise Figure 3's density rows to CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["group", "benchmark", "paper_iterations", "iterations", "simbench_density", "spec_density"]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row["group"],
+                row["benchmark"],
+                row["paper_iterations"],
+                row["iterations"],
+                "" if row.get("simbench_density") is None else "%.6f" % row["simbench_density"],
+                "" if row.get("spec_density") is None else "%.3e" % row["spec_density"],
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,408 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figureN`` function returns a plain data structure (documented
+per function) that a caller can plot or tabulate; ``render_*`` helpers
+produce the text renderings used by the examples and benchmark
+harnesses.  Absolute numbers are modeled seconds on the reproduction's
+engines, so only the *shapes* are comparable with the paper -- see
+EXPERIMENTS.md for the side-by-side record.
+"""
+
+from repro.analysis.stats import geomean
+from repro.analysis.sweep import VersionSweep
+from repro.arch import ARM, X86
+from repro.core.density import density_table
+from repro.core.harness import Harness, TimingPolicy
+from repro.core.suite import GROUPS, benchmarks_in_group
+from repro.machine import Board
+from repro.platform import PCPLAT, VEXPRESS
+from repro.sim import create_simulator
+from repro.sim.dbt.versions import QEMU_VERSIONS
+from repro.workloads import SPEC_PROXIES
+
+#: The Figure 7 column layouts per guest architecture.
+ARM_SIMULATORS = ("qemu-dbt", "simit", "gem5", "qemu-kvm", "native")
+X86_SIMULATORS = ("qemu-dbt", "qemu-kvm", "native")
+
+
+def _default_env(arch):
+    return (ARM, VEXPRESS) if arch.name == "arm" else (X86, PCPLAT)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: user-mode vs full-system simulation (conceptual)
+# ---------------------------------------------------------------------------
+
+
+def figure1():
+    """The paper's Figure 1: which components a user-mode simulator
+    borrows from the host vs what a full-system simulator must model.
+
+    Returns ``{"user-mode": {...}, "full-system": {...}}`` mapping each
+    guest-visible facility to "simulated" or "host", derived from what
+    this reproduction actually builds (the full-system column is
+    exactly the substrate in :mod:`repro.machine`).
+    """
+    return {
+        "user-mode": {
+            "CPU": "simulated",
+            "MMU": "host (flat memory, one address space)",
+            "System calls": "host (syscall emulation layer)",
+            "Console": "host",
+            "Timers": "host",
+            "Storage": "host file system",
+        },
+        "full-system": {
+            "CPU": "simulated",
+            "MMU": "simulated (page tables, TLBs, faults)",
+            "System calls": "simulated (guest kernel handles them)",
+            "Console": "simulated serial port -> host console",
+            "Timers": "simulated -> host timers",
+            "Storage": "simulated device -> host file system",
+            "Interrupt controller": "simulated",
+            "Coprocessors": "simulated",
+        },
+    }
+
+
+def render_figure1(data, title="Figure 1: user-mode vs full-system simulation"):
+    lines = [title]
+    facilities = sorted(set(data["user-mode"]) | set(data["full-system"]))
+    lines.append("%-22s %-42s %s" % ("Facility", "User-mode", "Full-system"))
+    for facility in facilities:
+        lines.append(
+            "%-22s %-42s %s"
+            % (
+                facility,
+                data["user-mode"].get(facility, "-"),
+                data["full-system"].get(facility, "-"),
+            )
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: SPEC speedups across QEMU versions (sjeng, mcf, overall)
+# ---------------------------------------------------------------------------
+
+
+def figure2(arch=ARM, platform=None, harness=None, scale=1.0):
+    """Relative SPEC-proxy performance across the QEMU version sweep.
+
+    Returns ``{"versions": [...], "series": {name: [speedups]}}`` with
+    series for ``sjeng``, ``mcf`` and ``SPEC (overall)`` (the weighted
+    geometric mean across all proxies), baselined at v1.7.0.
+    """
+    if platform is None:
+        platform = _default_env(arch)[1]
+    sweep = VersionSweep(arch, platform, harness=harness)
+    all_series = {}
+    for workload in SPEC_PROXIES:
+        iterations = max(1, int(workload.default_iterations * scale))
+        all_series[workload.name] = sweep.run(workload, iterations=iterations)
+    versions = list(QEMU_VERSIONS)
+    overall = []
+    for index in range(len(versions)):
+        overall.append(
+            geomean(series.speedups()[index] for series in all_series.values())
+        )
+    return {
+        "versions": versions,
+        "series": {
+            "sjeng": list(all_series["sjeng"].speedups()),
+            "mcf": list(all_series["mcf"].speedups()),
+            "SPEC (overall)": overall,
+        },
+        "all_series": {name: list(s.speedups()) for name, s in all_series.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: benchmark inventory with operation densities
+# ---------------------------------------------------------------------------
+
+
+def figure3(arch=ARM, platform=None, harness=None, scale=1.0, workload_scale=1.0):
+    """Figure 3's rows: iterations and operation density, SimBench vs
+    the SPEC proxies (measured on the reference engine)."""
+    if platform is None:
+        platform = _default_env(arch)[1]
+    if harness is None:
+        harness = Harness(timing=TimingPolicy.MODELED)
+    deltas = []
+    for workload in SPEC_PROXIES:
+        iterations = max(1, int(workload.default_iterations * workload_scale))
+        result = harness.run_benchmark(workload, "simit", arch, platform, iterations=iterations)
+        if result.ok:
+            deltas.append(result.kernel_delta)
+    return density_table(arch, platform, workload_deltas=deltas, harness=harness, scale=scale)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: qualitative feature matrix
+# ---------------------------------------------------------------------------
+
+
+def figure4(arch=ARM, platform=None):
+    """The Figure 4 feature matrix, generated from the engines' own
+    ``feature_summary()`` implementations."""
+    if platform is None:
+        platform = _default_env(arch)[1]
+    matrix = {}
+    for name in ("qemu-dbt", "simit", "gem5", "qemu-kvm", "native"):
+        board = Board(platform)
+        simulator = create_simulator(name, board, arch)
+        matrix[name] = simulator.feature_summary()
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: host platform details
+# ---------------------------------------------------------------------------
+
+#: The simulated analogues of the paper's ODROID-XU3 and HP z440 hosts.
+#: (The reproduction's "hosts" are the per-architecture cost tables.)
+HOSTS = {
+    "arm": {
+        "Machine": "simulated ODROID-XU3 analogue",
+        "CPU": "SRV32 native cost model (arm profile)",
+        "Platform": "vexpress",
+        "Page tables": "sections + two-level coarse pages",
+        "Notes": "Only the big-core cost table is modelled.",
+    },
+    "x86": {
+        "Machine": "simulated HP z440 analogue",
+        "CPU": "SRV32 native cost model (x86 profile)",
+        "Platform": "pcplat",
+        "Page tables": "two-level pages",
+        "Notes": "Math-coprocessor resets are expensive, as on real x86.",
+    },
+}
+
+
+def figure5():
+    return {name: dict(info) for name, info in HOSTS.items()}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: per-category SimBench speedups across QEMU versions
+# ---------------------------------------------------------------------------
+
+
+def figure6(arch=ARM, platform=None, harness=None, scale=1.0):
+    """SimBench speedups per category across the QEMU version sweep.
+
+    Returns ``{"versions": [...], "panels": {group: {bench: [speedups]}}}``.
+    """
+    if platform is None:
+        platform = _default_env(arch)[1]
+    sweep = VersionSweep(arch, platform, harness=harness)
+    panels = {}
+    for group in GROUPS:
+        panels[group] = {}
+        for benchmark in benchmarks_in_group(group):
+            if not benchmark.effective(arch):
+                continue
+            iterations = max(1, int(benchmark.default_iterations * scale))
+            series = sweep.run(benchmark, iterations=iterations)
+            panels[group][benchmark.name] = list(series.speedups())
+    return {"versions": list(QEMU_VERSIONS), "panels": panels}
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: the main results table
+# ---------------------------------------------------------------------------
+
+
+def figure7(harness=None, scale=1.0):
+    """The full cross-simulator results table (modeled seconds).
+
+    Returns ``{"arm": {sim: {bench: seconds|None}}, "x86": {...}}``
+    where ``None`` marks unsupported (dagger) or not-applicable ('-')
+    cells, with the reason in the parallel ``status`` maps.
+    """
+    if harness is None:
+        harness = Harness(timing=TimingPolicy.MODELED)
+    table = {}
+    status = {}
+    for arch, platform, simulators in (
+        (ARM, VEXPRESS, ARM_SIMULATORS),
+        (X86, PCPLAT, X86_SIMULATORS),
+    ):
+        table[arch.name] = {}
+        status[arch.name] = {}
+        for simulator in simulators:
+            suite_result = harness.run_suite(simulator, arch, platform, scale=scale)
+            seconds = {}
+            states = {}
+            for result in suite_result:
+                seconds[result.benchmark] = result.kernel_seconds if result.ok else None
+                states[result.benchmark] = result.status
+            table[arch.name][simulator] = seconds
+            status[arch.name][simulator] = states
+    return {"seconds": table, "status": status}
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: geomean SPEC vs SimBench speedups across versions
+# ---------------------------------------------------------------------------
+
+
+def figure8(arch=ARM, platform=None, harness=None, scale=1.0, figure2_data=None, figure6_data=None):
+    """Geomean speedup of the SPEC proxies and of SimBench across the
+    QEMU version sweep (both baselined at v1.7.0)."""
+    if figure2_data is None:
+        figure2_data = figure2(arch, platform, harness=harness, scale=scale)
+    if figure6_data is None:
+        figure6_data = figure6(arch, platform, harness=harness, scale=scale)
+    versions = figure2_data["versions"]
+    spec = figure2_data["series"]["SPEC (overall)"]
+    simbench = []
+    bench_series = [
+        speedups
+        for panel in figure6_data["panels"].values()
+        for speedups in panel.values()
+    ]
+    for index in range(len(versions)):
+        simbench.append(geomean(series[index] for series in bench_series))
+    return {"versions": versions, "series": {"SPEC": spec, "SimBench": simbench}}
+
+
+# ---------------------------------------------------------------------------
+# Section III-B narratives
+# ---------------------------------------------------------------------------
+
+
+def explain_dbt_vs_interpreter(figure7_data):
+    """Section III-B.1: which benchmarks favour DBT vs interpretation."""
+    arm = figure7_data["seconds"]["arm"]
+    dbt, interp = arm["qemu-dbt"], arm["simit"]
+    findings = []
+    for name, dbt_seconds in dbt.items():
+        interp_seconds = interp.get(name)
+        if dbt_seconds is None or interp_seconds is None:
+            continue
+        ratio = interp_seconds / dbt_seconds
+        findings.append((name, ratio))
+    findings.sort(key=lambda item: item[1])
+    return {
+        "interpreter_wins": [(n, r) for n, r in findings if r < 1.0],
+        "dbt_wins": [(n, r) for n, r in findings if r >= 1.0],
+    }
+
+
+def explain_virtualization(figure7_data):
+    """Section III-B.2: where KVM-style virtualization diverges from
+    native hardware."""
+    divergences = {}
+    for arch_name, table in figure7_data["seconds"].items():
+        kvm, native = table.get("qemu-kvm"), table.get("native")
+        if kvm is None or native is None:
+            continue
+        rows = []
+        for name, kvm_seconds in kvm.items():
+            native_seconds = native.get(name)
+            if kvm_seconds is None or native_seconds is None or native_seconds == 0:
+                continue
+            rows.append((name, kvm_seconds / native_seconds))
+        rows.sort(key=lambda item: -item[1])
+        divergences[arch_name] = rows
+    return divergences
+
+
+# ---------------------------------------------------------------------------
+# Text renderings
+# ---------------------------------------------------------------------------
+
+
+def render_series(figure_data, title="", width=9):
+    """Render a {versions, series} figure as an aligned text table."""
+    versions = figure_data["versions"]
+    series = figure_data["series"]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "%-12s" % "version" + "".join(
+        "%*s" % (width + 2, name[: width + 1]) for name in series
+    )
+    lines.append(header)
+    for index, version in enumerate(versions):
+        row = "%-12s" % version
+        for name in series:
+            row += "%*.3f" % (width + 2, series[name][index])
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_figure6(figure_data, title="Figure 6"):
+    lines = [title]
+    for group, panel in figure_data["panels"].items():
+        lines.append("")
+        lines.append(
+            render_series(
+                {"versions": figure_data["versions"], "series": panel},
+                title="[%s]" % group,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_figure7(figure7_data, title="Figure 7 (modeled seconds)"):
+    lines = [title]
+    for arch_name, table in figure7_data["seconds"].items():
+        simulators = list(table)
+        lines.append("")
+        lines.append("%s guest:" % arch_name.upper())
+        lines.append(
+            "%-28s" % "Benchmark" + "".join("%14s" % s for s in simulators)
+        )
+        benchmarks = list(next(iter(table.values())))
+        status = figure7_data["status"][arch_name]
+        for name in benchmarks:
+            row = "%-28s" % name
+            for simulator in simulators:
+                seconds = table[simulator].get(name)
+                if seconds is None:
+                    marker = status[simulator].get(name, "?")
+                    row += "%14s" % {"unsupported": "(dagger)", "not-applicable": "-"}.get(
+                        marker, marker
+                    )
+                else:
+                    row += "%14.6f" % seconds
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def render_figure3(rows, title="Figure 3"):
+    lines = [title]
+    lines.append(
+        "%-20s %-28s %12s %10s %14s %14s"
+        % ("Group", "Benchmark", "PaperIters", "Iters", "SimBench", "SPEC")
+    )
+    for row in rows:
+        simbench = row.get("simbench_density")
+        spec = row.get("spec_density")
+        lines.append(
+            "%-20s %-28s %12d %10d %14s %14s"
+            % (
+                row["group"],
+                row["benchmark"],
+                row["paper_iterations"],
+                row["iterations"],
+                "%.4f" % simbench if simbench is not None else "-",
+                ("%.3e" % spec) if spec is not None else "-",
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_figure4(matrix, title="Figure 4"):
+    features = list(next(iter(matrix.values())))
+    lines = [title]
+    lines.append("%-28s" % "Feature" + "".join("%22s" % name for name in matrix))
+    for feature in features:
+        row = "%-28s" % feature
+        for name in matrix:
+            row += "%22s" % matrix[name].get(feature, "-")[:21]
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Statistics helpers used by the analysis drivers."""
+
+import math
+
+
+def geomean(values):
+    """Geometric mean of positive values; raises on empty/non-positive."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geomean requires positive values, got %r" % value)
+        total += math.log(value)
+    return math.exp(total / len(values))
+
+
+def speedups_vs_baseline(times_by_key, baseline_key):
+    """Convert a {key: time} mapping into {key: speedup-vs-baseline}.
+
+    Speedup > 1 means faster than the baseline (lower time).
+    """
+    baseline = times_by_key[baseline_key]
+    if baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return {key: baseline / time for key, time in times_by_key.items()}
+
+
+def weighted_geomean_speedup(series_by_name, baseline_index=0):
+    """Per-index geometric-mean speedup across several named series.
+
+    ``series_by_name`` maps names to equal-length lists of times; the
+    result is a list of geomean speedups, one per index, relative to
+    each series' own value at ``baseline_index`` (the paper's "overall
+    SPEC rating" construction).
+    """
+    names = list(series_by_name)
+    if not names:
+        raise ValueError("no series given")
+    length = len(series_by_name[names[0]])
+    for name in names:
+        if len(series_by_name[name]) != length:
+            raise ValueError("series %r has mismatched length" % name)
+    result = []
+    for index in range(length):
+        ratios = []
+        for name in names:
+            series = series_by_name[name]
+            ratios.append(series[baseline_index] / series[index])
+        result.append(geomean(ratios))
+    return result

@@ -1,0 +1,97 @@
+"""The QEMU version-sweep driver (Figures 2, 6 and 8).
+
+Running 20 engine versions naively would re-execute every guest program
+20 times.  Versions that share the same *structural* configuration
+(TLB geometry, chaining policy, block length) produce identical event
+counts, so the sweep executes each benchmark once per structural group
+and then prices the recorded kernel counter delta under every version's
+cost table.  This keeps the sweep honest -- counts come from real runs
+on the right structure -- while staying fast.
+"""
+
+from repro.core.harness import Harness, TimingPolicy
+from repro.sim.costs import dbt_cost_model
+from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
+
+
+class SweepSeries:
+    """One benchmark's modeled kernel seconds across every version."""
+
+    __slots__ = ("name", "group", "versions", "seconds")
+
+    def __init__(self, name, group, versions, seconds):
+        self.name = name
+        self.group = group
+        self.versions = tuple(versions)
+        self.seconds = tuple(seconds)
+
+    def speedups(self, baseline_index=0):
+        """Speedup of each version relative to the baseline version."""
+        base = self.seconds[baseline_index]
+        return tuple(base / value for value in self.seconds)
+
+    def __repr__(self):
+        return "SweepSeries(%s, %d versions)" % (self.name, len(self.versions))
+
+
+def _structural_key(config):
+    return (
+        config.chain_enabled,
+        config.chain_cross_page,
+        config.max_block_insns,
+        config.tlb_bits,
+        config.tcache_capacity,
+    )
+
+
+class VersionSweep:
+    """Runs benchmarks/workloads across the QEMU version timeline."""
+
+    def __init__(self, arch, platform, versions=QEMU_VERSIONS, harness=None):
+        self.arch = arch
+        self.platform = platform
+        self.versions = tuple(versions)
+        self.harness = harness if harness is not None else Harness(timing=TimingPolicy.MODELED)
+        self._configs = {
+            version: dbt_config_for_version(version, arch.name) for version in self.versions
+        }
+
+    def _structural_groups(self):
+        groups = {}
+        for version in self.versions:
+            key = _structural_key(self._configs[version])
+            groups.setdefault(key, []).append(version)
+        return groups
+
+    def run(self, benchmark, iterations=None):
+        """Sweep one benchmark; returns a :class:`SweepSeries`."""
+        deltas_by_key = {}
+        for key, versions in self._structural_groups().items():
+            result = self.harness.run_benchmark(
+                benchmark,
+                "qemu-dbt",
+                self.arch,
+                self.platform,
+                iterations=iterations,
+                dbt_config=self._configs[versions[0]],
+            )
+            if not result.ok:
+                raise RuntimeError(
+                    "sweep run failed for %s under %s: %s (%s)"
+                    % (benchmark.name, versions[0], result.status, result.error)
+                )
+            deltas_by_key[key] = result.kernel_delta
+        seconds = []
+        for version in self.versions:
+            config = self._configs[version]
+            delta = deltas_by_key[_structural_key(config)]
+            model = dbt_cost_model(config.cost_overrides)
+            seconds.append(model.evaluate(delta) / 1e9)
+        return SweepSeries(benchmark.name, benchmark.group, self.versions, seconds)
+
+    def run_many(self, benchmarks, iterations=None):
+        """Sweep several benchmarks; returns ``{name: SweepSeries}``."""
+        return {
+            benchmark.name: self.run(benchmark, iterations=iterations)
+            for benchmark in benchmarks
+        }

@@ -1,0 +1,36 @@
+"""Architecture support packages.
+
+An architecture package plays the role of the paper's per-ISA support
+library (≈570 lines of C + 400 of assembly for ARM): bringing the
+machine out of reset, building page tables, managing the MMU, and
+providing architecture-specific operation sequences (system calls,
+undefined instructions, safe coprocessor accesses, nonprivileged memory
+accesses, TLB maintenance).
+
+Both profiles target the same SRV32 core but differ exactly where the
+paper says ARM and x86 differ:
+
+- ``arm``: single-level *section* mappings where possible, nonprivileged
+  load/store instructions, and a "safe" coprocessor access that reads
+  the Domain Access Control register.
+- ``x86``: two-level page tables everywhere, no nonprivileged accesses
+  (the benchmark becomes a no-op, as in the paper's x86 port), and a
+  "safe" coprocessor access that resets the math coprocessor.
+"""
+
+from repro.arch.base import ArchProfile, AsmWriter, Region
+from repro.arch.arm import ARM
+from repro.arch.x86 import X86
+
+ARCHES = {ARM.name: ARM, X86.name: X86}
+
+
+def get_arch(name):
+    """Look up a registered architecture profile by name."""
+    try:
+        return ARCHES[name]
+    except KeyError:
+        raise KeyError("unknown arch %r (available: %s)" % (name, ", ".join(sorted(ARCHES))))
+
+
+__all__ = ["ArchProfile", "AsmWriter", "Region", "ARM", "X86", "ARCHES", "get_arch"]

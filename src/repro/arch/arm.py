@@ -1,0 +1,29 @@
+"""The ARM-like architecture profile."""
+
+from repro.arch.base import ArchProfile
+from repro.machine.coprocessor import CP15_DACR
+
+
+class ArmProfile(ArchProfile):
+    """ARM-style profile.
+
+    - Sections (single-level 1 MiB mappings) are used wherever regions
+      are megabyte-aligned, so TLB misses usually take a one-level walk
+      (the paper: "a single level translation such as an ARM section ...
+      is more straightforward than a two-level translation").
+    - Nonprivileged loads/stores (LDRT/STRT) are available.
+    - The "safe" coprocessor access reads the Domain Access Control
+      Register, exactly as in the paper's ARM port.
+    """
+
+    name = "arm"
+    use_sections = True
+    supports_nonpriv = True
+    page_table_style = "sections + two-level coarse pages"
+    safe_coproc_description = "read DACR (p15, c3)"
+
+    def emit_coproc_safe_access(self, w, reg="r0"):
+        w.emit("    mrc %s, p15, c%d" % (reg, CP15_DACR))
+
+
+ARM = ArmProfile()

@@ -1,0 +1,280 @@
+"""Shared machinery for architecture support packages."""
+
+from repro.errors import MachineError
+from repro.machine.coprocessor import (
+    CP15_SCTLR,
+    CP15_TLBFLUSH,
+    CP15_TLBIMVA,
+    CP15_TTBR,
+    CP15_VBAR,
+)
+from repro.machine.mmu import (
+    AP_KERNEL_RW,
+    make_coarse_entry,
+    make_page_entry,
+    make_section_entry,
+)
+
+_MB = 1 << 20
+_PAGE = 1 << 12
+
+
+class AsmWriter:
+    """Accumulates assembly text with unique label generation."""
+
+    def __init__(self):
+        self._lines = []
+        self._label_counter = 0
+
+    def emit(self, text):
+        """Append one or more lines of assembly."""
+        for line in text.splitlines():
+            self._lines.append(line)
+
+    def label(self, prefix="L"):
+        """Return a fresh unique label name (without the colon)."""
+        self._label_counter += 1
+        return ".%s_%d" % (prefix, self._label_counter)
+
+    def place(self, label):
+        """Emit a label definition."""
+        self._lines.append("%s:" % label)
+
+    def comment(self, text):
+        self._lines.append("    ; %s" % text)
+
+    @property
+    def lines(self):
+        return tuple(self._lines)
+
+    @property
+    def text(self):
+        return "\n".join(self._lines) + "\n"
+
+
+class Region:
+    """A virtual->physical mapping request for the boot code.
+
+    ``device`` regions are mapped non-executable; ``ap`` uses the AP
+    encodings from :mod:`repro.machine.mmu`.
+    """
+
+    __slots__ = ("vbase", "pbase", "size", "ap", "xn")
+
+    def __init__(self, vbase, pbase, size, ap=AP_KERNEL_RW, xn=False):
+        if vbase % _PAGE or pbase % _PAGE or size % _PAGE:
+            raise MachineError("regions must be page aligned")
+        self.vbase = vbase
+        self.pbase = pbase
+        self.size = size
+        self.ap = ap
+        self.xn = xn
+
+    def __repr__(self):
+        return "Region(v=0x%08x, p=0x%08x, size=0x%x, ap=%d, xn=%r)" % (
+            self.vbase,
+            self.pbase,
+            self.size,
+            self.ap,
+            self.xn,
+        )
+
+    @property
+    def is_section_aligned(self):
+        return self.vbase % _MB == 0 and self.pbase % _MB == 0 and self.size % _MB == 0
+
+
+class _L2Allocator:
+    """Host-side allocator for level-2 table addresses.
+
+    The *addresses* are decided at build time and baked into the guest
+    boot code; the *contents* are written by the guest itself.
+    """
+
+    def __init__(self, pool_base):
+        self._next = pool_base
+        self._by_slot = {}
+
+    def table_for(self, l1_slot):
+        base = self._by_slot.get(l1_slot)
+        if base is None:
+            base = self._next
+            self._next += 0x400
+            self._by_slot[l1_slot] = base
+        return base
+
+
+class ArchProfile:
+    """Base class for architecture support packages.
+
+    Subclasses set :attr:`use_sections` (single-level mappings where
+    possible) and implement the architecture-specific sequences.
+    """
+
+    name = "base"
+    use_sections = False
+    supports_nonpriv = False
+    page_table_style = "two-level"
+    safe_coproc_description = ""
+
+    # -- boot -----------------------------------------------------------
+    def emit_boot(self, w, platform, regions, enable_mmu=True):
+        """Emit the reset path: stack, vector base, page tables, MMU.
+
+        Assumes RAM is zero-initialised (fresh board), so page tables
+        need no explicit clearing.  Clobbers r0-r3.
+        """
+        layout = platform.layout
+        w.comment("%s boot: stack, VBAR, page tables, MMU" % self.name)
+        w.emit("    li sp, 0x%08x" % layout.stack_top)
+        w.emit("    li r0, 0x%08x" % layout.vector_base)
+        w.emit("    mcr r0, p15, c%d" % CP15_VBAR)
+        if enable_mmu:
+            self.emit_page_tables(w, layout, regions)
+            w.emit("    li r0, 0x%08x" % layout.l1_table)
+            w.emit("    mcr r0, p15, c%d" % CP15_TTBR)
+            w.emit("    movi r0, 1")
+            w.emit("    mcr r0, p15, c%d" % CP15_SCTLR)
+
+    def emit_page_tables(self, w, layout, regions):
+        """Emit guest code that populates the page tables for ``regions``."""
+        allocator = _L2Allocator(layout.l2_pool)
+        for region in regions:
+            if self.use_sections and region.is_section_aligned:
+                self._emit_sections(w, layout, region)
+            else:
+                self._emit_coarse(w, layout, region, allocator)
+
+    def _emit_sections(self, w, layout, region):
+        count = region.size // _MB
+        first_entry = make_section_entry(region.pbase, region.ap, region.xn)
+        l1_addr = layout.l1_table + 4 * (region.vbase >> 20)
+        w.comment(
+            "map 0x%08x..+0x%x as %d section(s)" % (region.vbase, region.size, count)
+        )
+        if count == 1:
+            w.emit("    li r0, 0x%08x" % l1_addr)
+            w.emit("    li r1, 0x%08x" % first_entry)
+            w.emit("    str r1, [r0]")
+            return
+        loop = w.label("sect")
+        w.emit("    li r0, 0x%08x" % l1_addr)
+        w.emit("    li r1, 0x%08x" % first_entry)
+        w.emit("    li r2, %d" % count)
+        w.emit("    li r3, 0x%08x" % _MB)
+        w.place(loop)
+        w.emit("    str r1, [r0]")
+        w.emit("    addi r0, r0, 4")
+        w.emit("    add r1, r1, r3")
+        w.emit("    subi r2, r2, 1")
+        w.emit("    cmpi r2, 0")
+        w.emit("    bne %s" % loop)
+
+    def _emit_coarse(self, w, layout, region, allocator):
+        w.comment("map 0x%08x..+0x%x with 4 KiB pages" % (region.vbase, region.size))
+        vaddr = region.vbase
+        end = region.vbase + region.size
+        while vaddr < end:
+            l1_slot = vaddr >> 20
+            slot_end = min(end, (l1_slot + 1) << 20)
+            l2_base = allocator.table_for(l1_slot)
+            # Point the L1 slot at the (build-time allocated) L2 table.
+            w.emit("    li r0, 0x%08x" % (layout.l1_table + 4 * l1_slot))
+            w.emit("    li r1, 0x%08x" % make_coarse_entry(l2_base))
+            w.emit("    str r1, [r0]")
+            # Fill the page entries for this slot.
+            pbase = region.pbase + (vaddr - region.vbase)
+            count = (slot_end - vaddr) // _PAGE
+            first_entry = make_page_entry(pbase, region.ap, region.xn)
+            l2_addr = l2_base + 4 * ((vaddr >> 12) & 0xFF)
+            if count == 1:
+                w.emit("    li r0, 0x%08x" % l2_addr)
+                w.emit("    li r1, 0x%08x" % first_entry)
+                w.emit("    str r1, [r0]")
+            else:
+                loop = w.label("page")
+                w.emit("    li r0, 0x%08x" % l2_addr)
+                w.emit("    li r1, 0x%08x" % first_entry)
+                w.emit("    li r2, %d" % count)
+                w.place(loop)
+                w.emit("    str r1, [r0]")
+                w.emit("    addi r0, r0, 4")
+                w.emit("    addi r1, r1, 0x1000")
+                w.emit("    subi r2, r2, 1")
+                w.emit("    cmpi r2, 0")
+                w.emit("    bne %s" % loop)
+            vaddr = slot_end
+
+    # -- architecture-specific operation sequences ----------------------
+    def emit_syscall(self, w, number=1):
+        w.emit("    swi #%d" % number)
+
+    def emit_undef(self, w):
+        w.emit("    und")
+
+    def emit_coproc_safe_access(self, w, reg="r0"):
+        """Access the architecture's 'safe' coprocessor register."""
+        raise NotImplementedError
+
+    def emit_nonpriv_load(self, w, rd, rn, offset=0):
+        """Nonprivileged load, or a no-op on architectures without one.
+
+        Returns True if a real nonprivileged access was emitted.
+        """
+        if not self.supports_nonpriv:
+            w.emit("    nop")
+            return False
+        w.emit("    ldrt %s, [%s, #%d]" % (rd, rn, offset))
+        return True
+
+    def emit_nonpriv_store(self, w, rd, rn, offset=0):
+        if not self.supports_nonpriv:
+            w.emit("    nop")
+            return False
+        w.emit("    strt %s, [%s, #%d]" % (rd, rn, offset))
+        return True
+
+    def emit_tlb_flush(self, w, scratch="r0"):
+        w.emit("    mcr %s, p15, c%d" % (scratch, CP15_TLBFLUSH))
+
+    def emit_tlb_invalidate(self, w, vaddr_reg):
+        w.emit("    mcr %s, p15, c%d" % (vaddr_reg, CP15_TLBIMVA))
+
+    def emit_irq_enable(self, w):
+        """Enable IRQs at the CPU (kernel mode, I bit set)."""
+        w.emit("    cps #3")
+
+    def emit_irq_disable(self, w):
+        w.emit("    cps #1")
+
+    def emit_trigger_swirq(self, w, platform, scratch=("r0", "r1")):
+        """Raise the platform's software-interrupt line via the INTC."""
+        a, b = scratch
+        w.emit("    li %s, 0x%08x" % (a, platform.intc_base + 0x08))
+        w.emit("    movi %s, %d" % (b, 1 << platform.swirq_line))
+        w.emit("    str %s, [%s]" % (b, a))
+
+    def emit_swirq_setup(self, w, platform, scratch=("r0", "r1")):
+        """Enable the software-interrupt line at the INTC."""
+        a, b = scratch
+        w.emit("    li %s, 0x%08x" % (a, platform.intc_base + 0x04))
+        w.emit("    movi %s, %d" % (b, 1 << platform.swirq_line))
+        w.emit("    str %s, [%s]" % (b, a))
+
+    def emit_swirq_ack(self, w, platform, scratch=("r0", "r1")):
+        """Acknowledge (clear) the software-interrupt line."""
+        a, b = scratch
+        w.emit("    li %s, 0x%08x" % (a, platform.intc_base + 0x0C))
+        w.emit("    movi %s, %d" % (b, 1 << platform.swirq_line))
+        w.emit("    str %s, [%s]" % (b, a))
+
+    def feature_summary(self):
+        return {
+            "name": self.name,
+            "page tables": self.page_table_style,
+            "nonprivileged access": "yes" if self.supports_nonpriv else "no (no-op)",
+            "safe coprocessor access": self.safe_coproc_description,
+        }
+
+    def __repr__(self):
+        return "<ArchProfile %s>" % self.name

@@ -1,0 +1,29 @@
+"""The x86-like architecture profile."""
+
+from repro.arch.base import ArchProfile
+from repro.machine.coprocessor import CP1_FPRESET
+
+
+class X86Profile(ArchProfile):
+    """x86-style profile.
+
+    - Page tables are always two-level (4 KiB pages), so every TLB miss
+      walks two levels.
+    - There is no nonprivileged-access instruction; the corresponding
+      benchmark collapses to a no-op, as the paper notes for its x86
+      port.
+    - The "safe" coprocessor access resets the math coprocessor (the
+      FNINIT analogue the paper uses on x86).
+    """
+
+    name = "x86"
+    use_sections = False
+    supports_nonpriv = False
+    page_table_style = "two-level pages"
+    safe_coproc_description = "reset math coprocessor (p1, c1)"
+
+    def emit_coproc_safe_access(self, w, reg="r0"):
+        w.emit("    mcr %s, p1, c%d" % (reg, CP1_FPRESET))
+
+
+X86 = X86Profile()

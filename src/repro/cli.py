@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available benchmarks, simulators, architectures, platforms
+    and QEMU-timeline versions.
+``run BENCHMARK``
+    Run one benchmark (by Figure 3 name) on one simulator.
+``suite``
+    Run the full 18-benchmark suite on one simulator.
+``workloads``
+    Run the SPEC proxy workloads on one simulator.
+``figure N``
+    Regenerate one of the paper's figures/tables (2-8).
+``sweep BENCHMARK``
+    Sweep one benchmark across the QEMU version timeline.
+``detect SIMULATOR``
+    Fingerprint an engine with the sandbox-detection probes.
+``report``
+    Run the full evaluation and write a markdown report.
+``compare``
+    Run the suite on several simulators and print a side-by-side table.
+"""
+
+import argparse
+import sys
+
+from repro.analysis import figures
+from repro.analysis.sweep import VersionSweep
+from repro.arch import ARCHES, get_arch
+from repro.core import Harness, SUITE, TimingPolicy, get_benchmark
+from repro.platform import PLATFORMS, get_platform
+from repro.sim import SIMULATOR_CLASSES
+from repro.sim.dbt.versions import QEMU_VERSIONS
+from repro.workloads import SPEC_PROXIES
+
+
+def _default_platform(arch_name):
+    return "vexpress" if arch_name == "arm" else "pcplat"
+
+
+def _add_env_options(parser):
+    parser.add_argument("--sim", default="qemu-dbt", choices=sorted(SIMULATOR_CLASSES))
+    parser.add_argument("--arch", default="arm", choices=sorted(ARCHES))
+    parser.add_argument("--platform", default=None, choices=sorted(PLATFORMS))
+    parser.add_argument(
+        "--timing",
+        default="modeled",
+        choices=[policy.value for policy in TimingPolicy],
+        help="modeled (deterministic) or wallclock host time",
+    )
+
+
+def _environment(args):
+    arch = get_arch(args.arch)
+    platform_name = args.platform or _default_platform(args.arch)
+    platform = get_platform(platform_name)
+    harness = Harness(timing=TimingPolicy(args.timing))
+    return harness, arch, platform
+
+
+def _print_result(result):
+    if not result.ok:
+        print("%-28s %s" % (result.benchmark, result.status))
+        if result.error:
+            print("  %s" % result.error)
+        return
+    print(
+        "%-28s %.6f s  (%d iterations; paper used %s)"
+        % (
+            result.benchmark,
+            result.kernel_seconds,
+            result.iterations,
+            format(result.paper_iterations, ",") if result.paper_iterations else "n/a",
+        )
+    )
+    print(
+        "  kernel instructions=%d  operations=%d  ns/op=%.1f  density=%.4f"
+        % (
+            result.kernel_instructions,
+            result.operations,
+            result.ns_per_operation,
+            result.operation_density,
+        )
+    )
+
+
+# -- commands ---------------------------------------------------------------
+
+
+def _cmd_list(_args):
+    print("Benchmarks (Figure 3 inventory):")
+    for bench in SUITE:
+        print("  %-28s [%s]  paper iterations: %s"
+              % (bench.name, bench.group, format(bench.paper_iterations, ",")))
+    print()
+    print("Workloads (SPEC CPU2006 INT proxies):")
+    for workload in SPEC_PROXIES:
+        print("  %-12s %s" % (workload.name, workload.description))
+    print()
+    print("Simulators: %s" % ", ".join(sorted(SIMULATOR_CLASSES)))
+    print("Architectures: %s" % ", ".join(sorted(ARCHES)))
+    print("Platforms: %s" % ", ".join(sorted(PLATFORMS)))
+    print("QEMU timeline: %s .. %s (%d versions)"
+          % (QEMU_VERSIONS[0], QEMU_VERSIONS[-1], len(QEMU_VERSIONS)))
+    return 0
+
+
+def _cmd_run(args):
+    harness, arch, platform = _environment(args)
+    benchmark = get_benchmark(args.benchmark)
+    result = harness.run_benchmark(
+        benchmark, args.sim, arch, platform, iterations=args.iterations
+    )
+    _print_result(result)
+    return 0 if result.status in ("ok", "not-applicable", "unsupported") else 1
+
+
+def _cmd_suite(args):
+    harness, arch, platform = _environment(args)
+    suite_result = harness.run_suite(args.sim, arch, platform, scale=args.scale)
+    print("SimBench on %s (%s guest, %s platform, %s time):"
+          % (args.sim, arch.name, platform.name, args.timing))
+    failures = 0
+    for result in suite_result:
+        _print_result(result)
+        if result.status == "error":
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_workloads(args):
+    harness, arch, platform = _environment(args)
+    print("SPEC proxies on %s (%s guest):" % (args.sim, arch.name))
+    failures = 0
+    for workload in SPEC_PROXIES:
+        result = harness.run_benchmark(workload, args.sim, arch, platform)
+        _print_result(result)
+        if result.status == "error":
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_figure(args):
+    n = args.number
+    scale = args.scale
+    if n == 1:
+        print(figures.render_figure1(figures.figure1()))
+    elif n == 2:
+        print(figures.render_series(figures.figure2(scale=scale), title="Figure 2"))
+    elif n == 3:
+        print(figures.render_figure3(figures.figure3(scale=scale)))
+    elif n == 4:
+        print(figures.render_figure4(figures.figure4()))
+    elif n == 5:
+        for name, info in figures.figure5().items():
+            print("[%s]" % name)
+            for key, value in info.items():
+                print("  %-14s %s" % (key, value))
+    elif n == 6:
+        print(figures.render_figure6(figures.figure6(scale=scale)))
+    elif n == 7:
+        print(figures.render_figure7(figures.figure7(scale=scale)))
+    elif n == 8:
+        print(figures.render_series(figures.figure8(scale=scale), title="Figure 8"))
+    else:
+        print("unknown figure %d (supported: 1-8)" % n, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_sweep(args):
+    harness, arch, platform = _environment(args)
+    sweep = VersionSweep(arch, platform, harness=harness)
+    series = sweep.run(get_benchmark(args.benchmark), iterations=args.iterations)
+    print("%s across the QEMU timeline (%s guest; speedup vs %s):"
+          % (series.name, arch.name, series.versions[0]))
+    for version, seconds, speedup in zip(series.versions, series.seconds, series.speedups()):
+        print("  %-12s %.6f s   %.3fx" % (version, seconds, speedup))
+    return 0
+
+
+def _cmd_compare(args):
+    harness, arch, platform = _environment(args)
+    simulators = args.sims.split(",")
+    for name in simulators:
+        if name not in SIMULATOR_CLASSES:
+            print("unknown simulator %r" % name, file=sys.stderr)
+            return 2
+    columns = {
+        name: harness.run_suite(name, arch, platform, scale=args.scale).by_name()
+        for name in simulators
+    }
+    print("%-28s" % ("Benchmark (%s guest, s)" % arch.name)
+          + "".join("%14s" % name for name in simulators))
+    for bench in SUITE:
+        row = "%-28s" % bench.name
+        for name in simulators:
+            result = columns[name][bench.name]
+            if result.ok:
+                row += "%14.6f" % result.kernel_seconds
+            else:
+                row += "%14s" % result.status[:13]
+        print(row)
+    if len(simulators) == 2:
+        first, second = simulators
+        print()
+        print("Ratio %s/%s per benchmark:" % (second, first))
+        for bench in SUITE:
+            a, b = columns[first][bench.name], columns[second][bench.name]
+            if a.ok and b.ok and a.kernel_ns:
+                print("  %-28s %8.2fx" % (bench.name, b.kernel_ns / a.kernel_ns))
+    return 0
+
+
+def _cmd_report(args):
+    from repro.analysis.report import write_report
+
+    path = write_report(args.output, scale=args.scale)
+    print("wrote %s" % path)
+    return 0
+
+
+def _cmd_detect(args):
+    from repro.analysis.sandbox import detect_registry_engine
+
+    label, fp = detect_registry_engine(args.simulator, arch=get_arch(args.arch))
+    print("probes: %r" % fp)
+    print("verdict: %s" % label)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SimBench reproduction (Wagstaff et al., ISPASS 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show benchmarks, simulators, platforms")
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--iterations", type=int, default=None)
+    _add_env_options(p_run)
+
+    p_suite = sub.add_parser("suite", help="run the full suite")
+    p_suite.add_argument("--scale", type=float, default=1.0)
+    _add_env_options(p_suite)
+
+    p_wl = sub.add_parser("workloads", help="run the SPEC proxies")
+    _add_env_options(p_wl)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure (2-8)")
+    p_fig.add_argument("number", type=int)
+    p_fig.add_argument("--scale", type=float, default=0.5)
+
+    p_sweep = sub.add_parser("sweep", help="sweep one benchmark across QEMU versions")
+    p_sweep.add_argument("benchmark")
+    p_sweep.add_argument("--iterations", type=int, default=None)
+    _add_env_options(p_sweep)
+
+    p_detect = sub.add_parser("detect", help="sandbox-detect an engine")
+    p_detect.add_argument("simulator", choices=sorted(SIMULATOR_CLASSES))
+    p_detect.add_argument("--arch", default="arm", choices=sorted(ARCHES))
+
+    p_report = sub.add_parser("report", help="write the full evaluation report")
+    p_report.add_argument("--output", default="REPORT.md")
+    p_report.add_argument("--scale", type=float, default=0.5)
+
+    p_compare = sub.add_parser("compare", help="side-by-side suite comparison")
+    p_compare.add_argument("--sims", default="qemu-dbt,simit")
+    p_compare.add_argument("--scale", type=float, default=0.5)
+    _add_env_options(p_compare)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "suite": _cmd_suite,
+    "workloads": _cmd_workloads,
+    "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
+    "detect": _cmd_detect,
+    "report": _cmd_report,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

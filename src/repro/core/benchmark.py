@@ -1,0 +1,161 @@
+"""Benchmark base class and result records."""
+
+from repro.core.program import ProgramBuilder
+
+
+class Benchmark:
+    """One SimBench micro-benchmark.
+
+    Subclasses define the class attributes below and implement
+    :meth:`populate` to emit the benchmark's assembly fragments into a
+    :class:`~repro.core.program.ProgramBuilder`.
+
+    Attributes
+    ----------
+    name / group:
+        Identity, matching the rows and sections of Figure 3.
+    paper_iterations:
+        The iteration count the paper used (reported alongside results,
+        as the methodology requires).
+    default_iterations:
+        The scaled-down default for this Python reproduction.
+    ops_per_iteration:
+        Statically-known tested operations per kernel iteration.
+    operation_counters:
+        Names of the engine counters that observe the tested operation
+        (used both to sanity-check runs and to measure the operation
+        density of application workloads).
+    """
+
+    name = "benchmark"
+    group = "group"
+    paper_iterations = 0
+    default_iterations = 100
+    ops_per_iteration = 1
+    operation_counters = ()
+    description = ""
+
+    def effective(self, arch):
+        """False when the benchmark degenerates to a no-op on ``arch``
+        (e.g. nonprivileged accesses on the x86 profile)."""
+        return True
+
+    def supported_by(self, simulator_name):
+        """False when a simulator lacks the required platform feature.
+
+        The harness also detects this dynamically via
+        :class:`~repro.errors.UnsupportedFeatureError`; this hook lets
+        callers skip doomed runs cheaply.
+        """
+        return True
+
+    def operation_counters_for(self, arch):
+        return self.operation_counters
+
+    def build(self, arch, platform):
+        """Build the three-phase bare-metal program for this benchmark."""
+        builder = ProgramBuilder(arch, platform)
+        self.populate(builder)
+        return builder.build()
+
+    def populate(self, builder):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "<Benchmark %s/%s>" % (self.group, self.name)
+
+
+class BenchmarkResult:
+    """Outcome of running one benchmark on one simulator.
+
+    ``status`` is one of:
+
+    - ``"ok"`` -- ran to completion; timing fields are valid;
+    - ``"unsupported"`` -- the simulator lacks a required feature
+      (Figure 7's dagger entries);
+    - ``"not-applicable"`` -- the benchmark is a no-op on this
+      architecture (Figure 7's '-' entries);
+    - ``"error"`` -- the run failed (see ``error``).
+    """
+
+    __slots__ = (
+        "benchmark",
+        "simulator",
+        "arch",
+        "platform",
+        "status",
+        "iterations",
+        "paper_iterations",
+        "kernel_ns",
+        "kernel_wall_ns",
+        "kernel_instructions",
+        "kernel_delta",
+        "total_instructions",
+        "operations",
+        "error",
+    )
+
+    def __init__(self, benchmark, simulator, arch, platform):
+        self.benchmark = benchmark
+        self.simulator = simulator
+        self.arch = arch
+        self.platform = platform
+        self.status = "ok"
+        self.iterations = 0
+        self.paper_iterations = 0
+        self.kernel_ns = 0.0
+        self.kernel_wall_ns = 0
+        self.kernel_instructions = 0
+        self.kernel_delta = {}
+        self.total_instructions = 0
+        self.operations = 0
+        self.error = None
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+    @property
+    def kernel_seconds(self):
+        return self.kernel_ns / 1e9
+
+    @property
+    def ns_per_iteration(self):
+        return self.kernel_ns / self.iterations if self.iterations else 0.0
+
+    @property
+    def ns_per_operation(self):
+        return self.kernel_ns / self.operations if self.operations else 0.0
+
+    @property
+    def operation_density(self):
+        """Tested operations per kernel instruction."""
+        if not self.kernel_instructions:
+            return 0.0
+        return self.operations / self.kernel_instructions
+
+    def as_dict(self):
+        return {
+            "benchmark": self.benchmark,
+            "simulator": self.simulator,
+            "arch": self.arch,
+            "platform": self.platform,
+            "status": self.status,
+            "iterations": self.iterations,
+            "paper_iterations": self.paper_iterations,
+            "kernel_ns": self.kernel_ns,
+            "kernel_wall_ns": self.kernel_wall_ns,
+            "kernel_instructions": self.kernel_instructions,
+            "operations": self.operations,
+            "error": str(self.error) if self.error else None,
+        }
+
+    def __repr__(self):
+        if self.ok:
+            return "BenchmarkResult(%s on %s: %.6f s modeled, %d iters)" % (
+                self.benchmark,
+                self.simulator,
+                self.kernel_seconds,
+                self.iterations,
+            )
+        return "BenchmarkResult(%s on %s: %s)" % (self.benchmark, self.simulator, self.status)

@@ -1,0 +1,45 @@
+"""The 18 SimBench micro-benchmarks, in five groups (Figure 3)."""
+
+from repro.core.benchmarks.codegen import LargeBlocks, SmallBlocks
+from repro.core.benchmarks.control_flow import (
+    InterPageDirect,
+    InterPageIndirect,
+    IntraPageDirect,
+    IntraPageIndirect,
+)
+from repro.core.benchmarks.exceptions import (
+    DataAccessFault,
+    ExternalSoftwareInterrupt,
+    InstructionAccessFault,
+    SystemCall,
+    UndefinedInstruction,
+)
+from repro.core.benchmarks.io import CoprocessorAccess, MemoryMappedDevice
+from repro.core.benchmarks.memory import (
+    ColdMemoryAccess,
+    HotMemoryAccess,
+    NonprivilegedAccess,
+    TLBEviction,
+    TLBFlush,
+)
+
+__all__ = [
+    "SmallBlocks",
+    "LargeBlocks",
+    "InterPageDirect",
+    "InterPageIndirect",
+    "IntraPageDirect",
+    "IntraPageIndirect",
+    "DataAccessFault",
+    "InstructionAccessFault",
+    "UndefinedInstruction",
+    "SystemCall",
+    "ExternalSoftwareInterrupt",
+    "MemoryMappedDevice",
+    "CoprocessorAccess",
+    "ColdMemoryAccess",
+    "HotMemoryAccess",
+    "NonprivilegedAccess",
+    "TLBEviction",
+    "TLBFlush",
+]

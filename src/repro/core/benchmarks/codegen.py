@@ -1,0 +1,126 @@
+"""Code Generation benchmarks.
+
+These measure code-generation (DBT) performance: a region of code is
+executed repeatedly, and rewritten between executions so any cached
+translation (or decoded form) of it is invalidated.  They therefore
+also measure self-modifying-code handling, as the paper notes.
+
+The rewrite stores the *same* word back (a NOP occupying a dedicated
+first slot of each function), so semantics are stable while every
+engine still observes a store into translated/decoded code.
+"""
+
+from repro.core.benchmark import Benchmark
+from repro.isa.encoding import NOP_WORD
+
+
+class SmallBlocks(Benchmark):
+    """Many small tail-calling functions, each rewritten every iteration.
+
+    The tail calls go through a function-pointer table (indirect
+    control flow), preventing any static fusion of the chain -- the
+    analogue of the paper defeating compiler inlining.
+    """
+
+    name = "Small Blocks"
+    group = "Code Generation"
+    paper_iterations = 100_000
+    default_iterations = 150
+    NUM_FUNCS = 16
+    ops_per_iteration = NUM_FUNCS
+    operation_counters = ("code_writes",)
+    description = "rewrite + re-execute many small basic blocks"
+
+    def populate(self, builder):
+        n = self.NUM_FUNCS
+        layout = builder.platform.layout
+        table = layout.data_base + 0x100
+
+        # Setup: build the function pointer table in the data region.
+        w = builder.setup
+        w.comment("build the tail-call pointer table")
+        w.emit("    li r11, 0x%08x" % table)
+        for k in range(n):
+            w.emit("    li r0, .sb_func_%d" % k)
+            w.emit("    str r0, [r11, #%d]" % (4 * k))
+
+        # Kernel: rewrite the first word of every function, then run the
+        # chain from function 0.
+        w = builder.kernel
+        w.comment("rewrite the first word of each function (forces regen)")
+        w.emit("    li r0, .sb_func_0")
+        w.emit("    li r1, %d" % NOP_WORD)
+        for k in range(n):
+            w.emit("    str r1, [r0, #%d]" % (16 * k))
+        w.emit("    ldr r5, [r11]")
+        w.emit("    blr r5")
+
+        # The functions themselves: 4 instructions each (16 bytes), all
+        # on one dedicated page.
+        w = builder.handlers
+        w.emit(".page")
+        for k in range(n):
+            w.emit(".sb_func_%d:" % k)
+            w.emit("    nop")  # the rewritten slot
+            if k + 1 < n:
+                w.emit("    ldr r5, [r11, #%d]" % (4 * (k + 1)))
+                w.emit("    addi r4, r4, 1")
+                w.emit("    br r5")
+            else:
+                w.emit("    addi r4, r4, 1")
+                w.emit("    nop")
+                w.emit("    br lr")
+
+
+class LargeBlocks(Benchmark):
+    """One very large basic block, rewritten every iteration.
+
+    Inputs are read from (volatile) memory at the start of each
+    execution and the result written back at the end, mirroring the
+    paper's defence against constant folding.
+    """
+
+    name = "Large Blocks"
+    group = "Code Generation"
+    paper_iterations = 500_000
+    default_iterations = 100
+    ops_per_iteration = 1
+    operation_counters = ("code_writes",)
+    description = "rewrite + re-execute one very large basic block"
+
+    BLOCK_ALU_OPS = 120
+
+    def populate(self, builder):
+        layout = builder.platform.layout
+        inputs = layout.data_base + 0x200
+
+        w = builder.setup
+        w.comment("volatile inputs for the large block")
+        w.emit("    li r11, 0x%08x" % inputs)
+        w.emit("    movi r0, 7")
+        w.emit("    str r0, [r11]")
+        w.emit("    movi r0, 13")
+        w.emit("    str r0, [r11, #4]")
+
+        w = builder.kernel
+        w.comment("rewrite the block's first word, then execute it")
+        w.emit("    li r0, .lb_block")
+        w.emit("    li r1, %d" % NOP_WORD)
+        w.emit("    str r1, [r0]")
+        w.emit("    li r5, .lb_block")
+        w.emit("    blr r5")
+
+        w = builder.handlers
+        w.emit(".page")
+        w.emit(".lb_block:")
+        w.emit("    nop")  # the rewritten slot
+        w.emit("    ldr r0, [r11]")
+        w.emit("    ldr r1, [r11, #4]")
+        ops = ("add", "eor", "sub", "orr")
+        for i in range(self.BLOCK_ALU_OPS):
+            op = ops[i % len(ops)]
+            w.emit("    %s r0, r0, r1" % op)
+            if i % 7 == 3:
+                w.emit("    addi r1, r1, %d" % (i + 1))
+        w.emit("    str r0, [r11, #8]")
+        w.emit("    br lr")

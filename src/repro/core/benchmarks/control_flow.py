@@ -1,0 +1,119 @@
+"""Control Flow benchmarks.
+
+Four benchmarks cover the {intra-page, inter-page} x {direct, indirect}
+matrix.  Intra-page control flow needs no fresh address translation and
+is eligible for block chaining in DBT engines; inter-page control flow
+goes through the translation-lookup machinery.  Indirect branches read
+their target from a pointer table, defeating any static resolution.
+"""
+
+from repro.core.benchmark import Benchmark
+
+_NUM_FUNCS = 8
+
+
+class _ControlFlowBenchmark(Benchmark):
+    group = "Control Flow"
+    NUM_FUNCS = _NUM_FUNCS
+    #: Tested branches per iteration: the chain between the functions.
+    ops_per_iteration = _NUM_FUNCS - 1
+
+    #: Subclass knobs.
+    inter_page = True
+    indirect = False
+    label_prefix = "cf"
+
+    def populate(self, builder):
+        n = self.NUM_FUNCS
+        prefix = self.label_prefix
+        layout = builder.platform.layout
+
+        if self.indirect:
+            table = layout.data_base + 0x300
+            w = builder.setup
+            w.comment("pointer table for indirect tail calls")
+            w.emit("    li r11, 0x%08x" % table)
+            for k in range(n):
+                w.emit("    li r0, .%s_f%d" % (prefix, k))
+                w.emit("    str r0, [r11, #%d]" % (4 * k))
+
+        w = builder.kernel
+        if self.indirect:
+            w.emit("    ldr r5, [r11]")
+            w.emit("    blr r5")
+        else:
+            w.emit("    li r5, .%s_f0" % prefix)
+            w.emit("    blr r5")
+
+        w = builder.handlers
+        w.emit(".page")
+        for k in range(n):
+            if self.inter_page and k > 0:
+                w.emit(".page")
+            w.emit(".%s_f%d:" % (prefix, k))
+            w.emit("    addi r4, r4, 1")
+            if k + 1 == n:
+                w.emit("    br lr")
+            elif self.indirect:
+                w.emit("    ldr r5, [r11, #%d]" % (4 * (k + 1)))
+                w.emit("    br r5")
+            else:
+                w.emit("    b .%s_f%d" % (prefix, k + 1))
+
+
+class InterPageDirect(_ControlFlowBenchmark):
+    """Direct tail calls between functions on separate pages."""
+
+    name = "Inter-Page Direct"
+    paper_iterations = 100_000_000
+    default_iterations = 500
+    operation_counters = ("branches_direct_inter",)
+    inter_page = True
+    indirect = False
+    label_prefix = "ipd"
+    description = "direct branches crossing page boundaries"
+
+
+class InterPageIndirect(_ControlFlowBenchmark):
+    """Indirect tail calls (via a pointer table) across pages."""
+
+    name = "Inter-Page Indirect"
+    paper_iterations = 250_000
+    default_iterations = 400
+    operation_counters = ("branches_indirect_inter",)
+    inter_page = True
+    indirect = True
+    label_prefix = "ipi"
+    description = "indirect branches crossing page boundaries"
+    # The indirect call into the chain and the final indirect return
+    # also cross pages, so they belong to the tested class.
+    ops_per_iteration = _NUM_FUNCS + 1
+
+
+class IntraPageDirect(_ControlFlowBenchmark):
+    """Direct tail calls between functions on the same page."""
+
+    name = "Intra-Page Direct"
+    paper_iterations = 500_000_000
+    default_iterations = 800
+    operation_counters = ("branches_direct_intra",)
+    inter_page = False
+    indirect = False
+    label_prefix = "spd"
+    description = "direct branches within one page"
+    # The kernel loop's own backward branch is a same-page direct
+    # branch, so each iteration contributes one extra tested operation.
+    ops_per_iteration = _NUM_FUNCS
+
+
+class IntraPageIndirect(_ControlFlowBenchmark):
+    """Indirect tail calls between functions on the same page."""
+
+    name = "Intra-Page Indirect"
+    paper_iterations = 200_000
+    default_iterations = 400
+    operation_counters = ("branches_indirect_intra",)
+    inter_page = False
+    indirect = True
+    label_prefix = "spi"
+    description = "indirect branches within one page"

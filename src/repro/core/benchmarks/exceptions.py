@@ -1,0 +1,146 @@
+"""Exception/Interrupt Handling benchmarks.
+
+Each benchmark triggers one exception per kernel iteration and handles
+it with a minimal handler that resumes at the next instruction, so the
+measured cost is exception entry/exit itself.
+"""
+
+from repro.core.benchmark import Benchmark
+from repro.machine.coprocessor import CP15_ELR
+from repro.machine.cpu import ExceptionVector
+
+
+class DataAccessFault(Benchmark):
+    """A load from an unmapped address faults every iteration; the
+    handler advances the saved return address past the load."""
+
+    name = "Data Access Fault"
+    group = "Exception Handling"
+    paper_iterations = 25_000_000
+    default_iterations = 500
+    ops_per_iteration = 1
+    operation_counters = ("data_aborts",)
+    description = "data abort entry/exit cost"
+
+    def populate(self, builder):
+        builder.override_vector(ExceptionVector.DATA_ABORT, ".df_handler")
+        w = builder.setup
+        w.emit("    li r11, 0x%08x" % builder.platform.layout.unmapped_vaddr)
+
+        w = builder.kernel
+        w.emit("    ldr r0, [r11]")
+
+        w = builder.handlers
+        w.emit(".df_handler:")
+        w.emit("    subi sp, sp, 4")
+        w.emit("    str r8, [sp]")
+        w.emit("    mrc r8, p15, c%d" % CP15_ELR)
+        w.emit("    addi r8, r8, 4")
+        w.emit("    mcr r8, p15, c%d" % CP15_ELR)
+        w.emit("    ldr r8, [sp]")
+        w.emit("    addi sp, sp, 4")
+        w.emit("    sret")
+
+
+class InstructionAccessFault(Benchmark):
+    """A call into unmapped memory faults on fetch; the handler resumes
+    at the call's return address (the stack-unwinding analogue)."""
+
+    name = "Instruction Access Fault"
+    group = "Exception Handling"
+    paper_iterations = 25_000_000
+    default_iterations = 500
+    ops_per_iteration = 1
+    operation_counters = ("prefetch_aborts",)
+    description = "prefetch abort entry/exit cost"
+
+    def populate(self, builder):
+        builder.override_vector(ExceptionVector.PREFETCH_ABORT, ".if_handler")
+        w = builder.setup
+        w.emit("    li r11, 0x%08x" % builder.platform.layout.unmapped_vaddr)
+
+        w = builder.kernel
+        w.emit("    blr r11")
+
+        w = builder.handlers
+        w.emit(".if_handler:")
+        w.emit("    mcr lr, p15, c%d    ; resume at the caller's return address" % CP15_ELR)
+        w.emit("    sret")
+
+
+class UndefinedInstruction(Benchmark):
+    """Executes an architecturally-undefined instruction per iteration."""
+
+    name = "Undefined Instruction"
+    group = "Exception Handling"
+    paper_iterations = 50_000_000
+    default_iterations = 600
+    ops_per_iteration = 1
+    operation_counters = ("undefs",)
+    description = "undefined-instruction trap cost"
+
+    def populate(self, builder):
+        builder.override_vector(ExceptionVector.UNDEF, ".u_handler")
+        builder.arch.emit_undef(builder.kernel)
+        w = builder.handlers
+        w.emit(".u_handler:")
+        w.emit("    sret")
+
+
+class SystemCall(Benchmark):
+    """Executes a system-call instruction per iteration."""
+
+    name = "System Call"
+    group = "Exception Handling"
+    paper_iterations = 50_000_000
+    default_iterations = 600
+    ops_per_iteration = 1
+    operation_counters = ("syscalls",)
+    description = "system-call trap cost"
+
+    def populate(self, builder):
+        builder.override_vector(ExceptionVector.SWI, ".sc_handler")
+        builder.arch.emit_syscall(builder.kernel, number=1)
+        w = builder.handlers
+        w.emit(".sc_handler:")
+        w.emit("    sret")
+
+
+class ExternalSoftwareInterrupt(Benchmark):
+    """Raises an interrupt-controller line per iteration; the IRQ
+    handler acknowledges it and returns."""
+
+    name = "External Software Interrupt"
+    group = "Exception Handling"
+    paper_iterations = 20_000_000
+    default_iterations = 300
+    ops_per_iteration = 1
+    operation_counters = ("irqs",)
+    description = "external software interrupt delivery cost"
+
+    def populate(self, builder):
+        arch = builder.arch
+        platform = builder.platform
+        builder.override_vector(ExceptionVector.IRQ, ".irq_handler")
+
+        w = builder.setup
+        arch.emit_swirq_setup(w, platform)
+        arch.emit_irq_enable(w)
+
+        w = builder.kernel
+        arch.emit_trigger_swirq(w, platform)
+        w.emit("    nop")
+
+        w = builder.cleanup
+        arch.emit_irq_disable(w)
+
+        w = builder.handlers
+        w.emit(".irq_handler:")
+        w.emit("    subi sp, sp, 8")
+        w.emit("    str r0, [sp]")
+        w.emit("    str r1, [sp, #4]")
+        arch.emit_swirq_ack(w, platform)
+        w.emit("    ldr r0, [sp]")
+        w.emit("    ldr r1, [sp, #4]")
+        w.emit("    addi sp, sp, 8")
+        w.emit("    sret")

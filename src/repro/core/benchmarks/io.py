@@ -1,0 +1,58 @@
+"""I/O Infrastructure benchmarks.
+
+These measure the *base cost* of an I/O access -- a side-effect-free
+memory-mapped register and a "safe" coprocessor access -- not any
+particular device subsystem, following the paper's design discussion.
+"""
+
+from repro.core.benchmark import Benchmark
+
+_UNROLL = 4
+
+
+class MemoryMappedDevice(Benchmark):
+    """Repeatedly reads the platform's safe device ID register."""
+
+    name = "Memory Mapped Device"
+    group = "I/O"
+    paper_iterations = 400_000_000
+    default_iterations = 800
+    ops_per_iteration = _UNROLL
+    operation_counters = ("mmio_reads",)
+    description = "base cost of a memory-mapped device access"
+
+    def supported_by(self, simulator_name):
+        # Matching Figure 7: Gem5 does not implement the test device.
+        return simulator_name != "gem5"
+
+    def populate(self, builder):
+        w = builder.setup
+        w.emit("    li r11, 0x%08x" % builder.platform.safedev_base)
+        w = builder.kernel
+        for _ in range(_UNROLL):
+            w.emit("    ldr r0, [r11]")
+
+
+class CoprocessorAccess(Benchmark):
+    """Repeatedly performs the architecture's safe coprocessor access
+    (read DACR on the ARM profile; reset the math coprocessor on x86)."""
+
+    name = "Coprocessor Access"
+    group = "I/O"
+    paper_iterations = 250_000_000
+    default_iterations = 600
+    ops_per_iteration = _UNROLL
+    description = "base cost of a coprocessor access"
+
+    def operation_counters_for(self, arch):
+        if arch.name == "x86":
+            return ("coproc_writes",)
+        return ("coproc_reads",)
+
+    # Default (reference measurements use the ARM profile).
+    operation_counters = ("coproc_reads",)
+
+    def populate(self, builder):
+        w = builder.kernel
+        for _ in range(_UNROLL):
+            builder.arch.emit_coproc_safe_access(w, "r0")

@@ -1,0 +1,126 @@
+"""Memory System benchmarks.
+
+These exercise the hot path (TLB hit), the cold path (TLB miss and
+page-table walk), nonprivileged accesses, and the TLB maintenance
+operations (single-entry eviction and full flush).
+"""
+
+from repro.core.benchmark import Benchmark
+from repro.machine.coprocessor import CP15_TLBFLUSH, CP15_TLBIMVA
+from repro.machine.mmu import AP_USER_RW
+
+_HOT_UNROLL = 8
+_COLD_PAGES = 1024  # 4 MiB walked page-by-page: larger than any soft TLB
+
+
+class HotMemoryAccess(Benchmark):
+    """Loads and stores the same page repeatedly (manually unrolled)."""
+
+    name = "Hot Memory Access"
+    group = "Memory System"
+    paper_iterations = 500_000_000
+    default_iterations = 800
+    ops_per_iteration = 2 * _HOT_UNROLL
+    operation_counters = ("loads", "stores")
+    description = "TLB-hit (hot path) access cost"
+
+    def populate(self, builder):
+        w = builder.setup
+        w.emit("    li r11, 0x%08x" % (builder.platform.layout.data_base + 0x400))
+        w = builder.kernel
+        for _ in range(_HOT_UNROLL):
+            w.emit("    ldr r0, [r11]")
+            w.emit("    str r0, [r11, #4]")
+
+
+class ColdMemoryAccess(Benchmark):
+    """Reads the top of each page of a large region, one page per
+    iteration, so (almost) every access misses the TLB."""
+
+    name = "Cold Memory Access"
+    group = "Memory System"
+    paper_iterations = 50_000_000
+    default_iterations = 2048
+    ops_per_iteration = 1
+    operation_counters = ("tlb_misses",)
+    description = "TLB-miss (cold path) access cost"
+
+    def populate(self, builder):
+        layout = builder.platform.layout
+        size = _COLD_PAGES * 4096
+        builder.add_region(layout.cold_base, layout.cold_base, size, ap=AP_USER_RW, xn=True)
+        w = builder.setup
+        w.emit("    li r11, 0x%08x" % layout.cold_base)
+        w.emit("    li r12, 0x%08x" % (layout.cold_base + size))
+        w = builder.kernel
+        wrap = builder.label("coldwrap")
+        w.emit("    ldr r0, [r11]")
+        w.emit("    addi r11, r11, 4096")
+        w.emit("    cmp r11, r12")
+        w.emit("    blo %s" % wrap)
+        w.emit("    li r11, 0x%08x" % layout.cold_base)
+        w.place(wrap)
+
+
+class NonprivilegedAccess(Benchmark):
+    """Hot accesses performed with user privileges (LDRT/STRT on the
+    ARM profile; a no-op on x86, which has no such instruction)."""
+
+    name = "Nonprivileged Access"
+    group = "Memory System"
+    paper_iterations = 300_000_000
+    default_iterations = 600
+    ops_per_iteration = _HOT_UNROLL
+    operation_counters = ("nonpriv_accesses",)
+    description = "nonprivileged (user-mode-privilege) access cost"
+
+    def effective(self, arch):
+        return arch.supports_nonpriv
+
+    def populate(self, builder):
+        arch = builder.arch
+        w = builder.setup
+        w.emit("    li r11, 0x%08x" % (builder.platform.layout.data_base + 0x800))
+        w = builder.kernel
+        for i in range(_HOT_UNROLL // 2):
+            arch.emit_nonpriv_load(w, "r0", "r11", offset=0)
+            arch.emit_nonpriv_store(w, "r0", "r11", offset=4)
+
+
+class TLBEviction(Benchmark):
+    """Touches a page, then evicts exactly its TLB entry, so the next
+    iteration's access is a guaranteed miss."""
+
+    name = "TLB Eviction"
+    group = "Memory System"
+    paper_iterations = 4_000_000
+    default_iterations = 400
+    ops_per_iteration = 1
+    operation_counters = ("tlb_invalidations",)
+    description = "single-entry TLB invalidation cost"
+
+    def populate(self, builder):
+        w = builder.setup
+        w.emit("    li r11, 0x%08x" % (builder.platform.layout.data_base + 0xC00))
+        w = builder.kernel
+        w.emit("    ldr r0, [r11]")
+        w.emit("    mcr r11, p15, c%d" % CP15_TLBIMVA)
+
+
+class TLBFlush(Benchmark):
+    """Touches a page, then flushes the entire data TLB."""
+
+    name = "TLB Flush"
+    group = "Memory System"
+    paper_iterations = 4_000_000
+    default_iterations = 400
+    ops_per_iteration = 1
+    operation_counters = ("tlb_flushes",)
+    description = "full TLB flush cost"
+
+    def populate(self, builder):
+        w = builder.setup
+        w.emit("    li r11, 0x%08x" % (builder.platform.layout.data_base + 0xC00))
+        w = builder.kernel
+        w.emit("    ldr r0, [r11]")
+        w.emit("    mcr r0, p15, c%d" % CP15_TLBFLUSH)

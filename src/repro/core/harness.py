@@ -1,0 +1,240 @@
+"""The benchmark harness.
+
+Runs benchmarks on simulators following the paper's methodology:
+
+- each benchmark runs bare-metal with a configurable iteration count;
+- only the kernel phase is timed (the harness observes the guest's
+  phase-marker writes to the test-control device);
+- both the run time and the iteration count are reported.
+
+Two timing policies are supported:
+
+- ``MODELED`` (default): deterministic virtual host time, computed as
+  the engine's cost model over the kernel-phase counter delta;
+- ``WALLCLOCK``: real host time between the phase markers (meaningful
+  for the software engines, noisy but honest).
+"""
+
+import enum
+import statistics
+import time
+
+from repro.errors import GuestHalted, HarnessError, UnsupportedFeatureError
+from repro.core.benchmark import BenchmarkResult
+from repro.core.program import PHASE_KERNEL_DONE, PHASE_SETUP_DONE
+from repro.core.suite import SUITE
+from repro.machine import Board
+from repro.sim import create_simulator
+from repro.sim.base import Counters, ExitReason
+
+
+class TimingPolicy(enum.Enum):
+    MODELED = "modeled"
+    WALLCLOCK = "wallclock"
+
+
+class SuiteResult:
+    """Results of running (part of) the suite on one simulator."""
+
+    def __init__(self, simulator, arch, platform, results):
+        self.simulator = simulator
+        self.arch = arch
+        self.platform = platform
+        self.results = list(results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self):
+        return len(self.results)
+
+    def by_name(self):
+        return {res.benchmark: res for res in self.results}
+
+    def __repr__(self):
+        return "SuiteResult(%s/%s, %d benchmarks)" % (
+            self.simulator,
+            self.arch,
+            len(self.results),
+        )
+
+
+class _PhaseRecorder:
+    """Snapshots wall time and counters at each phase-marker write."""
+
+    def __init__(self, simulator):
+        self._simulator = simulator
+        self.snapshots = {}
+
+    def __call__(self, phase):
+        self.snapshots[phase] = (
+            time.perf_counter_ns(),
+            self._simulator.counters.snapshot(),
+        )
+
+
+class Harness:
+    """Builds, runs and times SimBench programs on simulators."""
+
+    def __init__(self, timing=TimingPolicy.MODELED, max_insns=50_000_000):
+        self.timing = TimingPolicy(timing)
+        self.max_insns = max_insns
+        self._program_cache = {}
+
+    # ------------------------------------------------------------------
+    def build_program(self, benchmark, arch, platform):
+        """Build (and cache) a benchmark's guest program."""
+        key = (benchmark.name, arch.name, platform.name)
+        built = self._program_cache.get(key)
+        if built is None:
+            built = benchmark.build(arch, platform)
+            self._program_cache[key] = built
+        return built
+
+    # ------------------------------------------------------------------
+    def run_benchmark(
+        self,
+        benchmark,
+        simulator,
+        arch,
+        platform,
+        iterations=None,
+        dbt_config=None,
+        sim_kwargs=None,
+    ):
+        """Run one benchmark on one simulator and return a
+        :class:`~repro.core.benchmark.BenchmarkResult`.
+
+        ``simulator`` is a registry name (see
+        :data:`repro.sim.SIMULATOR_CLASSES`); ``dbt_config`` applies
+        only to the DBT engine; ``sim_kwargs`` are passed through to the
+        simulator constructor (e.g. ``{"asid_tagged": True}``).
+        """
+        if iterations is None:
+            iterations = benchmark.default_iterations
+        result = BenchmarkResult(benchmark.name, simulator, arch.name, platform.name)
+        result.iterations = iterations
+        result.paper_iterations = benchmark.paper_iterations
+
+        if not benchmark.effective(arch):
+            result.status = "not-applicable"
+            return result
+        if not benchmark.supported_by(simulator):
+            result.status = "unsupported"
+            return result
+
+        built = self.build_program(benchmark, arch, platform)
+        board = Board(platform)
+        board.load(built.program)
+        board.set_iterations(iterations)
+        kwargs = dict(sim_kwargs or {})
+        if simulator == "qemu-dbt" and dbt_config is not None:
+            kwargs["config"] = dbt_config
+        sim = create_simulator(simulator, board, arch, **kwargs)
+
+        recorder = _PhaseRecorder(sim)
+        board.testctl.on_phase = recorder
+
+        try:
+            run = sim.run(max_insns=self.max_insns)
+        except UnsupportedFeatureError as exc:
+            result.status = "unsupported"
+            result.error = exc
+            return result
+        if run.exit_reason is not ExitReason.HALT:
+            result.status = "error"
+            result.error = HarnessError(
+                "%s did not halt (%s) on %s" % (benchmark.name, run.exit_reason.value, simulator)
+            )
+            return result
+        if run.halt_code != 0:
+            result.status = "error"
+            result.error = GuestHalted(run.halt_code)
+            return result
+        if PHASE_SETUP_DONE not in recorder.snapshots or PHASE_KERNEL_DONE not in recorder.snapshots:
+            result.status = "error"
+            result.error = HarnessError("phase markers missing: %r" % sorted(recorder.snapshots))
+            return result
+
+        wall_start, counters_start = recorder.snapshots[PHASE_SETUP_DONE]
+        wall_end, counters_end = recorder.snapshots[PHASE_KERNEL_DONE]
+        delta = Counters.delta(counters_start, counters_end)
+        result.kernel_delta = delta
+        result.kernel_instructions = delta["instructions"]
+        result.kernel_wall_ns = wall_end - wall_start
+        if self.timing is TimingPolicy.MODELED:
+            result.kernel_ns = sim.cost_model.evaluate(delta)
+        else:
+            result.kernel_ns = float(result.kernel_wall_ns)
+        result.total_instructions = run.instructions
+        counters = benchmark.operation_counters_for(arch)
+        result.operations = sum(delta.get(name, 0) for name in counters)
+        return result
+
+    # ------------------------------------------------------------------
+    def run_benchmark_repeated(
+        self,
+        benchmark,
+        simulator,
+        arch,
+        platform,
+        repeats=5,
+        **kwargs,
+    ):
+        """Run a benchmark several times and aggregate the kernel times.
+
+        Under the (deterministic) MODELED policy all repeats agree; the
+        aggregation matters for WALLCLOCK runs, where the paper-style
+        report is "median kernel time over N runs".  Returns
+        ``(results, summary)`` where ``summary`` has ``median_ns``,
+        ``mean_ns``, ``stdev_ns`` and ``repeats``.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        results = [
+            self.run_benchmark(benchmark, simulator, arch, platform, **kwargs)
+            for _ in range(repeats)
+        ]
+        ok = [res for res in results if res.ok]
+        if not ok:
+            return results, None
+        times = [res.kernel_ns for res in ok]
+        summary = {
+            "median_ns": statistics.median(times),
+            "mean_ns": statistics.fmean(times),
+            "stdev_ns": statistics.stdev(times) if len(times) > 1 else 0.0,
+            "repeats": len(ok),
+        }
+        return results, summary
+
+    # ------------------------------------------------------------------
+    def run_suite(
+        self,
+        simulator,
+        arch,
+        platform,
+        benchmarks=None,
+        scale=1.0,
+        dbt_config=None,
+    ):
+        """Run the (full or partial) suite on one simulator.
+
+        ``scale`` multiplies every benchmark's default iteration count,
+        letting callers trade run time for measurement stability.
+        """
+        if benchmarks is None:
+            benchmarks = SUITE
+        results = []
+        for benchmark in benchmarks:
+            iterations = max(1, int(benchmark.default_iterations * scale))
+            results.append(
+                self.run_benchmark(
+                    benchmark,
+                    simulator,
+                    arch,
+                    platform,
+                    iterations=iterations,
+                    dbt_config=dbt_config,
+                )
+            )
+        return SuiteResult(simulator, arch.name, platform.name, results)

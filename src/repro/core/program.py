@@ -1,0 +1,148 @@
+"""The bare-metal program builder.
+
+Every SimBench benchmark (and every workload) is a self-contained
+bare-metal guest program with the structure the paper prescribes
+(Section II): benchmark-specific *setup* (page tables, vectors),
+a timed *kernel* executed for a configurable iteration count, and
+*cleanup*.  Phase boundaries are signalled by writes to the platform's
+test-control device, which the harness observes to time only the
+kernel.
+
+Register conventions inside the kernel loop:
+
+- ``r10`` holds the remaining iteration count (read from the
+  test-control device); kernel bodies must preserve it;
+- ``r11``/``r12`` are reserved for benchmark-persistent values set up in
+  the setup phase;
+- ``r0``-``r9`` are free per-iteration scratch;
+- exception handlers that need scratch registers must save/restore them
+  on the stack.
+"""
+
+from repro.arch.base import AsmWriter, Region
+from repro.isa.assembler import assemble
+from repro.machine.cpu import ExceptionVector
+from repro.machine.mmu import AP_KERNEL_RW, AP_USER_RW
+
+PHASE_SETUP_DONE = 1
+PHASE_KERNEL_DONE = 2
+
+_MB = 1 << 20
+
+
+class BuiltProgram:
+    """An assembled benchmark/workload image plus build metadata."""
+
+    def __init__(self, program, source, arch, platform):
+        self.program = program
+        self.source = source
+        self.arch = arch
+        self.platform = platform
+
+    def __repr__(self):
+        return "BuiltProgram(arch=%s, platform=%s, entry=0x%08x)" % (
+            self.arch.name,
+            self.platform.name,
+            self.program.entry,
+        )
+
+
+class ProgramBuilder:
+    """Builds the standard three-phase bare-metal program.
+
+    Benchmarks contribute assembly fragments through :class:`AsmWriter`
+    instances for each phase, plus handler sections and raw data
+    sections, and may override exception vectors and request extra
+    memory mappings.
+    """
+
+    def __init__(self, arch, platform, enable_mmu=True):
+        self.arch = arch
+        self.platform = platform
+        self.enable_mmu = enable_mmu
+        self.setup = AsmWriter()
+        self.kernel = AsmWriter()
+        self.cleanup = AsmWriter()
+        self.handlers = AsmWriter()
+        self.data = AsmWriter()
+        self._vector_overrides = {}
+        self._extra_regions = []
+        self._label_counter = 0
+
+    # -- configuration ----------------------------------------------------
+    def override_vector(self, vector, label):
+        """Route an exception vector to a benchmark-provided handler."""
+        self._vector_overrides[ExceptionVector(vector)] = label
+
+    def add_region(self, vbase, pbase, size, ap=AP_KERNEL_RW, xn=False):
+        """Request an extra virtual mapping (built during boot)."""
+        self._extra_regions.append(Region(vbase, pbase, size, ap=ap, xn=xn))
+
+    def label(self, prefix="L"):
+        self._label_counter += 1
+        return ".bld_%s_%d" % (prefix, self._label_counter)
+
+    # -- canned fragments ---------------------------------------------------
+    def emit_phase_marker(self, w, phase):
+        """Write ``phase`` to the test-control device (clobbers r0/r1)."""
+        w.emit("    li r0, 0x%08x" % self.platform.testctl_base)
+        w.emit("    movi r1, %d" % phase)
+        w.emit("    str r1, [r0]")
+
+    def default_regions(self):
+        """The mappings every benchmark gets: low RAM (code, vectors,
+        stack), the data region, and the device window."""
+        layout = self.platform.layout
+        dev_base, dev_size = self.platform.device_region
+        return [
+            Region(layout.ram_base, layout.ram_base, _MB, ap=AP_USER_RW, xn=False),
+            Region(layout.data_base, layout.data_base, _MB, ap=AP_USER_RW, xn=True),
+            Region(dev_base, dev_base, dev_size, ap=AP_KERNEL_RW, xn=True),
+        ]
+
+    # -- build ---------------------------------------------------------------
+    def build_source(self):
+        layout = self.platform.layout
+        w = AsmWriter()
+        # Exception vector table: six branch slots.
+        w.emit(".org 0x%08x" % layout.vector_base)
+        for vector in ExceptionVector:
+            target = self._vector_overrides.get(vector)
+            if target is None:
+                target = "_start" if vector is ExceptionVector.RESET else ".default_handler"
+            w.emit("    b %s    ; vector %s" % (target, vector.name))
+        # Program text.
+        w.emit(".org 0x%08x" % layout.code_base)
+        w.emit("_start:")
+        regions = self.default_regions() + self._extra_regions
+        self.arch.emit_boot(w, self.platform, regions, enable_mmu=self.enable_mmu)
+        w.emit("\n".join(self.setup.lines))
+        # Load the iteration count *before* the phase marker so the
+        # device read stays outside the timed kernel window.
+        w.emit("    li r0, 0x%08x" % self.platform.testctl_base)
+        w.emit("    ldr r10, [r0, #4]")
+        self.emit_phase_marker(w, PHASE_SETUP_DONE)
+        w.emit("    cmpi r10, 0")
+        w.emit("    beq .kernel_done")
+        w.emit(".kernel_loop:")
+        w.emit("\n".join(self.kernel.lines))
+        w.emit("    subi r10, r10, 1")
+        w.emit("    cmpi r10, 0")
+        w.emit("    bne .kernel_loop")
+        w.emit(".kernel_done:")
+        self.emit_phase_marker(w, PHASE_KERNEL_DONE)
+        w.emit("\n".join(self.cleanup.lines))
+        w.emit("    halt #0")
+        # Default handler: report an unexpected exception.
+        w.emit(".default_handler:")
+        w.emit("    halt #0xEE")
+        if self.handlers.lines:
+            w.emit("\n".join(self.handlers.lines))
+        if self.data.lines:
+            w.emit("\n".join(self.data.lines))
+        return w.text
+
+    def build(self):
+        source = self.build_source()
+        program = assemble(source)
+        return BuiltProgram(program, source, self.arch, self.platform)

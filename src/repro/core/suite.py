@@ -1,0 +1,71 @@
+"""The SimBench suite registry (Figure 3's inventory)."""
+
+from repro.core.benchmarks import (
+    ColdMemoryAccess,
+    CoprocessorAccess,
+    DataAccessFault,
+    ExternalSoftwareInterrupt,
+    HotMemoryAccess,
+    InstructionAccessFault,
+    InterPageDirect,
+    InterPageIndirect,
+    IntraPageDirect,
+    IntraPageIndirect,
+    LargeBlocks,
+    MemoryMappedDevice,
+    NonprivilegedAccess,
+    SmallBlocks,
+    SystemCall,
+    TLBEviction,
+    TLBFlush,
+    UndefinedInstruction,
+)
+
+#: The full suite, in the paper's Figure 3 order.
+SUITE = (
+    SmallBlocks(),
+    LargeBlocks(),
+    InterPageDirect(),
+    InterPageIndirect(),
+    IntraPageDirect(),
+    IntraPageIndirect(),
+    DataAccessFault(),
+    InstructionAccessFault(),
+    UndefinedInstruction(),
+    SystemCall(),
+    ExternalSoftwareInterrupt(),
+    MemoryMappedDevice(),
+    CoprocessorAccess(),
+    ColdMemoryAccess(),
+    HotMemoryAccess(),
+    NonprivilegedAccess(),
+    TLBEviction(),
+    TLBFlush(),
+)
+
+#: Group names in presentation order.
+GROUPS = (
+    "Code Generation",
+    "Control Flow",
+    "Exception Handling",
+    "I/O",
+    "Memory System",
+)
+
+_BY_NAME = {bench.name: bench for bench in SUITE}
+
+
+def get_benchmark(name):
+    """Look up a suite benchmark by its Figure 3 name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError("unknown benchmark %r (known: %s)" % (name, ", ".join(_BY_NAME)))
+
+
+def benchmarks_in_group(group):
+    """All suite benchmarks in one of the five groups."""
+    found = [bench for bench in SUITE if bench.group == group]
+    if not found:
+        raise KeyError("unknown group %r (known: %s)" % (group, ", ".join(GROUPS)))
+    return found

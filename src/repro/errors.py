@@ -1,0 +1,72 @@
+"""Exception hierarchy for the SimBench reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be assembled."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class DecodeError(ReproError):
+    """Raised when an instruction word cannot be decoded.
+
+    Engines normally convert this into a guest UNDEF exception rather
+    than letting it propagate to the caller.
+    """
+
+
+class CompileError(ReproError):
+    """Raised by the MiniC compiler on invalid source."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class MachineError(ReproError):
+    """Raised on invalid machine configuration or physical access."""
+
+
+class BusError(MachineError):
+    """Raised when a physical address maps to no RAM or device."""
+
+    def __init__(self, paddr, access="access"):
+        self.paddr = paddr
+        self.access = access
+        super().__init__("bus error: %s at physical address 0x%08x" % (access, paddr))
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised when a simulator does not implement a platform feature.
+
+    Mirrors the dagger entries of the paper's Figure 7 (e.g. Gem5 does
+    not implement the external-software-interrupt or memory-mapped test
+    device functionality).
+    """
+
+    def __init__(self, simulator, feature):
+        self.simulator = simulator
+        self.feature = feature
+        super().__init__("%s does not implement %s" % (simulator, feature))
+
+
+class GuestHalted(ReproError):
+    """Internal signal used by engines when the guest executes HALT."""
+
+    def __init__(self, code):
+        self.code = code
+        super().__init__("guest halted with code %d" % code)
+
+
+class HarnessError(ReproError):
+    """Raised when a benchmark run violates the three-phase protocol."""

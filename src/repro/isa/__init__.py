@@ -1,0 +1,36 @@
+"""SRV32: the guest instruction set architecture used by the reproduction.
+
+SRV32 is a 32-bit, fixed-width, little-endian RISC ISA designed for this
+reproduction of SimBench.  It is deliberately small but covers every
+mechanism the SimBench micro-benchmarks exercise: privileged execution,
+virtual memory control via a system coprocessor, synchronous exceptions
+(data/prefetch aborts, undefined instructions, system calls), external
+interrupts, nonprivileged memory accesses, and coprocessor traffic.
+
+Public API:
+
+- :mod:`repro.isa.encoding` -- opcode numbers, field packing helpers.
+- :class:`repro.isa.decoder.Instruction` / :func:`repro.isa.decoder.decode`
+- :class:`repro.isa.assembler.Assembler` / :func:`repro.isa.assembler.assemble`
+- :func:`repro.isa.disasm.disassemble`
+"""
+
+from repro.isa.encoding import Op, Cond, encode, PAGE_SIZE, PAGE_SHIFT
+from repro.isa.decoder import Instruction, decode
+from repro.isa.assembler import Assembler, Program, Segment, assemble
+from repro.isa.disasm import disassemble
+
+__all__ = [
+    "Op",
+    "Cond",
+    "encode",
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "Instruction",
+    "decode",
+    "Assembler",
+    "Program",
+    "Segment",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,589 @@
+"""A two-pass assembler for the SRV32 guest ISA.
+
+The SimBench benchmarks and the MiniC compiler both emit textual SRV32
+assembly; this module turns that text into loadable images.
+
+Supported syntax::
+
+    ; comment
+    label:
+        .org  0x8000          ; set location counter (starts a segment)
+        .align 16             ; pad to alignment
+        .page                 ; pad to the next 4 KiB page boundary
+        .word expr, expr      ; emit literal words
+        .space 64             ; emit zero bytes
+        .equ  NAME, expr      ; define a symbol
+        nop
+        movi r0, 42
+        li   r1, some_label   ; pseudo: movi+movt, always 8 bytes
+        ldr  r2, [r1, #4]
+        beq  loop
+        mrc  r3, p15, c3
+        swi  #1
+
+Expressions are integers (decimal or ``0x`` hex), symbols, and ``+``/``-``
+chains; the character ``.`` denotes the current location counter.
+"""
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import (
+    Cond,
+    Op,
+    PAGE_SIZE,
+    branch_offset,
+    encode,
+)
+
+_REGISTER_NAMES = {"sp": 13, "lr": 14}
+for _i in range(16):
+    _REGISTER_NAMES["r%d" % _i] = _i
+
+_COND_SUFFIXES = {
+    "eq": Cond.EQ,
+    "ne": Cond.NE,
+    "lt": Cond.LT,
+    "ge": Cond.GE,
+    "le": Cond.LE,
+    "gt": Cond.GT,
+    "lo": Cond.LO,
+    "hs": Cond.HS,
+    "mi": Cond.MI,
+    "pl": Cond.PL,
+}
+
+_ALU_REG = {
+    "add": Op.ADD,
+    "sub": Op.SUB,
+    "and": Op.AND,
+    "orr": Op.ORR,
+    "eor": Op.EOR,
+    "lsl": Op.LSL,
+    "lsr": Op.LSR,
+    "asr": Op.ASR,
+    "mul": Op.MUL,
+    "udiv": Op.UDIV,
+    "urem": Op.UREM,
+}
+_ALU_IMM = {
+    "addi": Op.ADDI,
+    "subi": Op.SUBI,
+    "andi": Op.ANDI,
+    "orri": Op.ORRI,
+    "eori": Op.EORI,
+    "lsli": Op.LSLI,
+    "lsri": Op.LSRI,
+    "asri": Op.ASRI,
+    "muli": Op.MULI,
+}
+_MEM = {
+    "ldr": Op.LDR,
+    "str": Op.STR,
+    "ldrb": Op.LDRB,
+    "strb": Op.STRB,
+    "ldrt": Op.LDRT,
+    "strt": Op.STRT,
+}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+class Segment:
+    """A contiguous run of assembled bytes at a base physical address."""
+
+    __slots__ = ("base", "data")
+
+    def __init__(self, base, data=None):
+        self.base = base
+        self.data = bytearray(data or b"")
+
+    @property
+    def end(self):
+        return self.base + len(self.data)
+
+    def __repr__(self):
+        return "Segment(base=0x%08x, size=%d)" % (self.base, len(self.data))
+
+
+class Program:
+    """An assembled guest image: segments, symbols, and an entry point."""
+
+    def __init__(self, segments, symbols, entry):
+        self.segments = segments
+        self.symbols = dict(symbols)
+        self.entry = entry
+
+    def symbol(self, name):
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError("program has no symbol %r" % name)
+
+    @property
+    def size(self):
+        return sum(len(seg.data) for seg in self.segments)
+
+    def load_into(self, write_phys):
+        """Copy every segment into memory via ``write_phys(addr, bytes)``."""
+        for seg in self.segments:
+            write_phys(seg.base, bytes(seg.data))
+
+    def word_at(self, addr):
+        """Read back an assembled 32-bit word (for tests)."""
+        for seg in self.segments:
+            if seg.base <= addr and addr + 4 <= seg.end:
+                off = addr - seg.base
+                return int.from_bytes(seg.data[off : off + 4], "little")
+        raise KeyError("address 0x%08x not within any segment" % addr)
+
+    def __repr__(self):
+        return "Program(entry=0x%08x, segments=%r)" % (self.entry, self.segments)
+
+
+class _Fixup:
+    __slots__ = ("segment", "offset", "kind", "expr", "pc", "line", "fields")
+
+    def __init__(self, segment, offset, kind, expr, pc, line, fields=None):
+        self.segment = segment
+        self.offset = offset
+        self.kind = kind
+        self.expr = expr
+        self.pc = pc
+        self.line = line
+        self.fields = fields or {}
+
+
+class Assembler:
+    """Two-pass SRV32 assembler.
+
+    Pass 1 lays out segments, records symbols and fixups; pass 2
+    resolves symbolic operands (branch targets, ``li`` constants,
+    ``.word`` expressions).
+    """
+
+    def __init__(self, origin=0x0):
+        self._origin = origin
+        self._segments = []
+        self._current = None
+        self._symbols = {}
+        self._fixups = []
+        self._line = 0
+
+    # -- expression evaluation ---------------------------------------
+    def _eval(self, text, pc=None):
+        text = text.strip()
+        if not text:
+            raise AssemblerError("empty expression", self._line)
+        total = 0
+        sign = 1
+        token = ""
+        i = 0
+        first = True
+
+        def flush(tok, sgn, acc):
+            tok = tok.strip()
+            if not tok:
+                raise AssemblerError("malformed expression %r" % text, self._line)
+            return acc + sgn * self._atom(tok, pc)
+
+        while i < len(text):
+            ch = text[i]
+            if ch in "+-" and (token.strip() or not first):
+                total = flush(token, sign, total)
+                sign = 1 if ch == "+" else -1
+                token = ""
+            elif ch == "-" and first and not token.strip():
+                sign = -sign
+            else:
+                token += ch
+            first = False
+            i += 1
+        total = flush(token, sign, total)
+        return total & 0xFFFFFFFF if total >= 0 else total & 0xFFFFFFFF
+
+    def _atom(self, tok, pc):
+        if tok == ".":
+            if pc is None:
+                raise AssemblerError("'.' not allowed here", self._line)
+            return pc
+        try:
+            return int(tok, 0)
+        except ValueError:
+            pass
+        if _SYMBOL_RE.match(tok):
+            if tok in self._symbols:
+                return self._symbols[tok]
+            raise _Unresolved(tok)
+        raise AssemblerError("cannot evaluate %r" % tok, self._line)
+
+    # -- emission ------------------------------------------------------
+    def _ensure_segment(self):
+        if self._current is None:
+            self._current = Segment(self._origin)
+            self._segments.append(self._current)
+
+    @property
+    def pc(self):
+        self._ensure_segment()
+        return self._current.end
+
+    def _emit_word(self, word):
+        self._ensure_segment()
+        if self.pc % 4:
+            raise AssemblerError("instruction at unaligned address 0x%x" % self.pc, self._line)
+        self._current.data += (word & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def _emit_bytes(self, data):
+        self._ensure_segment()
+        self._current.data += data
+
+    # -- public entry ---------------------------------------------------
+    def assemble(self, source, entry_symbol="_start"):
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            self._line = lineno
+            self._assemble_line(raw)
+        self._resolve_fixups()
+        entry = self._symbols.get(entry_symbol)
+        if entry is None:
+            if not self._segments:
+                raise AssemblerError("empty program")
+            entry = self._segments[0].base
+        segments = [seg for seg in self._segments if len(seg.data)]
+        segments.sort(key=lambda seg: seg.base)
+        for a, b in zip(segments, segments[1:]):
+            if a.end > b.base:
+                raise AssemblerError(
+                    "overlapping segments at 0x%08x / 0x%08x" % (a.base, b.base)
+                )
+        return Program(segments, self._symbols, entry)
+
+    # -- line handling ---------------------------------------------------
+    def _strip_comment(self, line):
+        # Only ';' starts a comment: '#' prefixes immediates.
+        idx = line.find(";")
+        if idx >= 0:
+            line = line[:idx]
+        return line.strip()
+
+    def _assemble_line(self, raw):
+        line = self._strip_comment(raw)
+        while True:
+            m = _LABEL_RE.match(line)
+            if not m:
+                break
+            name = m.group(1)
+            if name in self._symbols:
+                raise AssemblerError("duplicate symbol %r" % name, self._line)
+            self._symbols[name] = self.pc
+            line = line[m.end() :].strip()
+        if not line:
+            return
+        if line.startswith("."):
+            self._directive(line)
+            return
+        self._instruction(line)
+
+    def _directive(self, line):
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".org":
+            addr = self._eval(rest)
+            self._current = Segment(addr)
+            self._segments.append(self._current)
+        elif name == ".align":
+            n = self._eval(rest)
+            if n <= 0 or n & (n - 1):
+                raise AssemblerError(".align requires a power of two", self._line)
+            pad = (-self.pc) % n
+            self._emit_bytes(b"\x00" * pad)
+        elif name == ".page":
+            pad = (-self.pc) % PAGE_SIZE
+            self._emit_bytes(b"\x00" * pad)
+        elif name == ".word":
+            for expr in _split_operands(rest):
+                try:
+                    value = self._eval(expr, pc=self.pc)
+                except _Unresolved:
+                    self._ensure_segment()
+                    self._fixups.append(
+                        _Fixup(self._current, self.pc - self._current.base, "word", expr, self.pc, self._line)
+                    )
+                    value = 0
+                self._emit_word(value)
+        elif name == ".space":
+            n = self._eval(rest)
+            if n < 0:
+                raise AssemblerError(".space requires a non-negative size", self._line)
+            self._emit_bytes(b"\x00" * n)
+        elif name == ".equ":
+            ops = _split_operands(rest)
+            if len(ops) != 2:
+                raise AssemblerError(".equ requires NAME, value", self._line)
+            sym = ops[0]
+            if not _SYMBOL_RE.match(sym):
+                raise AssemblerError("bad symbol name %r" % sym, self._line)
+            if sym in self._symbols:
+                raise AssemblerError("duplicate symbol %r" % sym, self._line)
+            self._symbols[sym] = self._eval(ops[1])
+        else:
+            raise AssemblerError("unknown directive %s" % name, self._line)
+
+    # -- instructions -----------------------------------------------------
+    def _instruction(self, line):
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        handler = getattr(self, "_ins_" + mnemonic, None)
+        if handler is not None:
+            handler(operands)
+            return
+        if mnemonic in _ALU_REG:
+            self._emit_word(
+                encode(_ALU_REG[mnemonic], rd=self._reg(operands, 0), rn=self._reg(operands, 1), rm=self._reg(operands, 2))
+            )
+            return
+        if mnemonic in _ALU_IMM:
+            self._need(operands, 3)
+            self._emit_word(
+                encode(_ALU_IMM[mnemonic], rd=self._reg(operands, 0), rn=self._reg(operands, 1), imm=self._imm(operands[2]))
+            )
+            return
+        if mnemonic in _MEM:
+            self._mem(_MEM[mnemonic], operands)
+            return
+        if mnemonic.startswith("b") and mnemonic[1:] in _COND_SUFFIXES:
+            self._branch(Op.B, operands, _COND_SUFFIXES[mnemonic[1:]])
+            return
+        raise AssemblerError("unknown mnemonic %r" % mnemonic, self._line)
+
+    def _need(self, operands, n):
+        if len(operands) != n:
+            raise AssemblerError("expected %d operands, got %d" % (n, len(operands)), self._line)
+
+    def _reg(self, operands, index):
+        if index >= len(operands):
+            raise AssemblerError("missing register operand", self._line)
+        return self._regname(operands[index])
+
+    def _regname(self, text):
+        reg = _REGISTER_NAMES.get(text.strip().lower())
+        if reg is None:
+            raise AssemblerError("bad register %r" % text, self._line)
+        return reg
+
+    def _imm(self, text):
+        text = text.strip()
+        if text.startswith("#"):
+            text = text[1:]
+        try:
+            return self._eval(text, pc=self.pc)
+        except _Unresolved as exc:
+            raise AssemblerError("unresolved symbol %r in immediate" % exc.symbol, self._line)
+
+    # individual instruction emitters ------------------------------------
+    def _ins_nop(self, operands):
+        self._need(operands, 0)
+        self._emit_word(encode(Op.NOP))
+
+    def _ins_und(self, operands):
+        self._need(operands, 0)
+        self._emit_word(encode(Op.UND))
+
+    def _ins_wfi(self, operands):
+        self._need(operands, 0)
+        self._emit_word(encode(Op.WFI))
+
+    def _ins_sret(self, operands):
+        self._need(operands, 0)
+        self._emit_word(encode(Op.SRET))
+
+    def _ins_mov(self, operands):
+        self._need(operands, 2)
+        self._emit_word(encode(Op.MOV, rd=self._reg(operands, 0), rm=self._reg(operands, 1)))
+
+    def _ins_mvn(self, operands):
+        self._need(operands, 2)
+        self._emit_word(encode(Op.MVN, rd=self._reg(operands, 0), rm=self._reg(operands, 1)))
+
+    def _ins_cmp(self, operands):
+        self._need(operands, 2)
+        self._emit_word(encode(Op.CMP, rn=self._reg(operands, 0), rm=self._reg(operands, 1)))
+
+    def _ins_cmpi(self, operands):
+        self._need(operands, 2)
+        self._emit_word(encode(Op.CMPI, rn=self._reg(operands, 0), imm=self._imm(operands[1])))
+
+    def _ins_movi(self, operands):
+        self._need(operands, 2)
+        self._emit_word(encode(Op.MOVI, rd=self._reg(operands, 0), imm=self._imm(operands[1])))
+
+    def _ins_movt(self, operands):
+        self._need(operands, 2)
+        self._emit_word(encode(Op.MOVT, rd=self._reg(operands, 0), imm=self._imm(operands[1])))
+
+    def _ins_li(self, operands):
+        """Load a full 32-bit constant: always emits MOVI + MOVT."""
+        self._need(operands, 2)
+        rd = self._reg(operands, 0)
+        expr = operands[1]
+        if expr.startswith("#"):
+            expr = expr[1:]
+        try:
+            value = self._eval(expr, pc=self.pc)
+        except _Unresolved:
+            self._ensure_segment()
+            self._fixups.append(
+                _Fixup(self._current, self.pc - self._current.base, "li", expr, self.pc, self._line, {"rd": rd})
+            )
+            value = 0
+        self._emit_word(encode(Op.MOVI, rd=rd, imm=value & 0xFFFF))
+        self._emit_word(encode(Op.MOVT, rd=rd, imm=(value >> 16) & 0xFFFF))
+
+    def _ins_b(self, operands):
+        self._branch(Op.B, operands, Cond.AL)
+
+    def _ins_bl(self, operands):
+        self._branch(Op.BL, operands, Cond.AL)
+
+    def _branch(self, op, operands, cond):
+        self._need(operands, 1)
+        expr = operands[0]
+        pc = self.pc
+        try:
+            target = self._eval(expr, pc=pc)
+        except _Unresolved:
+            self._ensure_segment()
+            self._fixups.append(
+                _Fixup(self._current, pc - self._current.base, "branch", expr, pc, self._line, {"op": op, "cond": cond})
+            )
+            self._emit_word(encode(op, imm=0, cond=cond))
+            return
+        self._emit_word(encode(op, imm=branch_offset(pc, target), cond=cond))
+
+    def _ins_br(self, operands):
+        self._need(operands, 1)
+        self._emit_word(encode(Op.BR, rn=self._reg(operands, 0)))
+
+    def _ins_blr(self, operands):
+        self._need(operands, 1)
+        self._emit_word(encode(Op.BLR, rn=self._reg(operands, 0)))
+
+    def _ins_swi(self, operands):
+        self._need(operands, 1)
+        self._emit_word(encode(Op.SWI, imm=self._imm(operands[0])))
+
+    def _ins_halt(self, operands):
+        imm = self._imm(operands[0]) if operands else 0
+        self._emit_word(encode(Op.HALT, imm=imm))
+
+    def _ins_cps(self, operands):
+        self._need(operands, 1)
+        self._emit_word(encode(Op.CPS, imm=self._imm(operands[0])))
+
+    def _ins_mrc(self, operands):
+        self._need(operands, 3)
+        self._emit_word(
+            encode(Op.MRC, rd=self._reg(operands, 0), rn=self._cpnum(operands[1]), imm=self._cpreg(operands[2]))
+        )
+
+    def _ins_mcr(self, operands):
+        self._need(operands, 3)
+        self._emit_word(
+            encode(Op.MCR, rd=self._reg(operands, 0), rn=self._cpnum(operands[1]), imm=self._cpreg(operands[2]))
+        )
+
+    def _cpnum(self, text):
+        text = text.strip().lower()
+        if not text.startswith("p"):
+            raise AssemblerError("bad coprocessor %r" % text, self._line)
+        num = int(text[1:], 0)
+        if not 0 <= num < 16:
+            raise AssemblerError("coprocessor number out of range", self._line)
+        return num
+
+    def _cpreg(self, text):
+        text = text.strip().lower()
+        if not text.startswith("c"):
+            raise AssemblerError("bad coprocessor register %r" % text, self._line)
+        num = int(text[1:], 0)
+        if not 0 <= num < 256:
+            raise AssemblerError("coprocessor register out of range", self._line)
+        return num
+
+    def _mem(self, op, operands):
+        if len(operands) < 2:
+            raise AssemblerError("memory instruction needs rd, [rn(, #off)]", self._line)
+        rd = self._reg(operands, 0)
+        addr = ", ".join(operands[1:]).strip()
+        if not (addr.startswith("[") and addr.endswith("]")):
+            raise AssemblerError("bad address syntax %r" % addr, self._line)
+        inner = addr[1:-1]
+        pieces = [p.strip() for p in inner.split(",")]
+        rn = self._regname(pieces[0])
+        off = 0
+        if len(pieces) == 2:
+            off_text = pieces[1]
+            if off_text.startswith("#"):
+                off_text = off_text[1:]
+            off = self._eval(off_text, pc=self.pc)
+            if off & 0x80000000:
+                off -= 1 << 32
+        elif len(pieces) > 2:
+            raise AssemblerError("bad address syntax %r" % addr, self._line)
+        self._emit_word(encode(op, rd=rd, rn=rn, imm=off))
+
+    # -- pass 2 ------------------------------------------------------------
+    def _resolve_fixups(self):
+        for fix in self._fixups:
+            self._line = fix.line
+            try:
+                value = self._eval(fix.expr, pc=fix.pc)
+            except _Unresolved as exc:
+                raise AssemblerError("undefined symbol %r" % exc.symbol, fix.line)
+            if fix.kind == "word":
+                fix.segment.data[fix.offset : fix.offset + 4] = value.to_bytes(4, "little")
+            elif fix.kind == "branch":
+                word = encode(fix.fields["op"], imm=branch_offset(fix.pc, value), cond=fix.fields["cond"])
+                fix.segment.data[fix.offset : fix.offset + 4] = word.to_bytes(4, "little")
+            elif fix.kind == "li":
+                rd = fix.fields["rd"]
+                lo = encode(Op.MOVI, rd=rd, imm=value & 0xFFFF)
+                hi = encode(Op.MOVT, rd=rd, imm=(value >> 16) & 0xFFFF)
+                fix.segment.data[fix.offset : fix.offset + 4] = lo.to_bytes(4, "little")
+                fix.segment.data[fix.offset + 4 : fix.offset + 8] = hi.to_bytes(4, "little")
+            else:  # pragma: no cover - internal invariant
+                raise AssemblerError("unknown fixup kind %r" % fix.kind, fix.line)
+
+
+class _Unresolved(Exception):
+    def __init__(self, symbol):
+        self.symbol = symbol
+        super().__init__(symbol)
+
+
+def _split_operands(text):
+    """Split an operand list on commas, keeping bracketed groups whole."""
+    out = []
+    depth = 0
+    token = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append(token.strip())
+            token = ""
+        else:
+            token += ch
+    if token.strip():
+        out.append(token.strip())
+    return out
+
+
+def assemble(source, origin=0x0, entry_symbol="_start"):
+    """Assemble ``source`` and return a :class:`Program`."""
+    return Assembler(origin=origin).assemble(source, entry_symbol=entry_symbol)

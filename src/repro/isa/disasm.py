@@ -1,0 +1,129 @@
+"""Disassembler for SRV32 instruction words (debugging aid and test oracle)."""
+
+from repro.errors import DecodeError
+from repro.isa.decoder import decode
+from repro.isa.encoding import Cond, Op, branch_target
+
+_ALU_REG_NAMES = {
+    Op.ADD: "add",
+    Op.SUB: "sub",
+    Op.AND: "and",
+    Op.ORR: "orr",
+    Op.EOR: "eor",
+    Op.LSL: "lsl",
+    Op.LSR: "lsr",
+    Op.ASR: "asr",
+    Op.MUL: "mul",
+    Op.UDIV: "udiv",
+    Op.UREM: "urem",
+}
+_ALU_IMM_NAMES = {
+    Op.ADDI: "addi",
+    Op.SUBI: "subi",
+    Op.ANDI: "andi",
+    Op.ORRI: "orri",
+    Op.EORI: "eori",
+    Op.LSLI: "lsli",
+    Op.LSRI: "lsri",
+    Op.ASRI: "asri",
+    Op.MULI: "muli",
+}
+_MEM_NAMES = {
+    Op.LDR: "ldr",
+    Op.STR: "str",
+    Op.LDRB: "ldrb",
+    Op.STRB: "strb",
+    Op.LDRT: "ldrt",
+    Op.STRT: "strt",
+}
+
+
+def _reg(n):
+    if n == 13:
+        return "sp"
+    if n == 14:
+        return "lr"
+    return "r%d" % n
+
+
+def disassemble(word, pc=None):
+    """Return assembly text for one instruction word.
+
+    If ``pc`` is given, direct-branch targets are rendered as absolute
+    addresses; otherwise the raw word offset is shown.
+    """
+    try:
+        insn = decode(word)
+    except DecodeError:
+        return ".word 0x%08x  ; undefined" % word
+    op = insn.op
+    if op == Op.NOP:
+        return "nop"
+    if op == Op.UND:
+        return "und"
+    if op == Op.WFI:
+        return "wfi"
+    if op == Op.SRET:
+        return "sret"
+    if op in _ALU_REG_NAMES:
+        return "%s %s, %s, %s" % (_ALU_REG_NAMES[op], _reg(insn.rd), _reg(insn.rn), _reg(insn.rm))
+    if op in _ALU_IMM_NAMES:
+        return "%s %s, %s, #%d" % (_ALU_IMM_NAMES[op], _reg(insn.rd), _reg(insn.rn), insn.imm)
+    if op == Op.MOV:
+        return "mov %s, %s" % (_reg(insn.rd), _reg(insn.rm))
+    if op == Op.MVN:
+        return "mvn %s, %s" % (_reg(insn.rd), _reg(insn.rm))
+    if op == Op.CMP:
+        return "cmp %s, %s" % (_reg(insn.rn), _reg(insn.rm))
+    if op == Op.CMPI:
+        return "cmpi %s, #%d" % (_reg(insn.rn), insn.imm)
+    if op == Op.MOVI:
+        return "movi %s, #%d" % (_reg(insn.rd), insn.imm)
+    if op == Op.MOVT:
+        return "movt %s, #0x%04x" % (_reg(insn.rd), insn.imm)
+    if op in _MEM_NAMES:
+        if insn.imm:
+            return "%s %s, [%s, #%d]" % (_MEM_NAMES[op], _reg(insn.rd), _reg(insn.rn), insn.imm)
+        return "%s %s, [%s]" % (_MEM_NAMES[op], _reg(insn.rd), _reg(insn.rn))
+    if op in (Op.B, Op.BL):
+        name = "b" if op == Op.B else "bl"
+        if insn.cond != Cond.AL:
+            name += Cond(insn.cond).name.lower()
+        if pc is not None:
+            return "%s 0x%08x" % (name, branch_target(pc, insn.imm))
+        return "%s .%+d" % (name, insn.imm * 4 + 4)
+    if op == Op.BR:
+        return "br %s" % _reg(insn.rn)
+    if op == Op.BLR:
+        return "blr %s" % _reg(insn.rn)
+    if op == Op.SWI:
+        return "swi #%d" % insn.imm
+    if op == Op.HALT:
+        return "halt #%d" % insn.imm
+    if op == Op.CPS:
+        return "cps #%d" % insn.imm
+    if op == Op.MRC:
+        return "mrc %s, p%d, c%d" % (_reg(insn.rd), insn.rn, insn.imm & 0xFF)
+    if op == Op.MCR:
+        return "mcr %s, p%d, c%d" % (_reg(insn.rd), insn.rn, insn.imm & 0xFF)
+    return ".word 0x%08x" % word  # pragma: no cover - all ops handled
+
+
+def disassemble_range(read_word, start, count, symbols=None):
+    """Disassemble ``count`` words starting at ``start``.
+
+    ``read_word(addr)`` supplies instruction words; ``symbols`` may map
+    addresses to names, printed as labels.  Returns a list of text lines.
+    """
+    by_addr = {}
+    if symbols:
+        for name, addr in symbols.items():
+            by_addr.setdefault(addr, []).append(name)
+    lines = []
+    for i in range(count):
+        addr = start + 4 * i
+        for name in by_addr.get(addr, ()):
+            lines.append("%s:" % name)
+        word = read_word(addr)
+        lines.append("  0x%08x:  %08x  %s" % (addr, word, disassemble(word, pc=addr)))
+    return lines

@@ -1,0 +1,196 @@
+"""Instruction encodings for the SRV32 guest ISA.
+
+Every instruction is one little-endian 32-bit word.  The top byte is the
+opcode; the remaining 24 bits hold operand fields:
+
+====================  =========================================
+field                 bits
+====================  =========================================
+``op``                [31:24]
+``rd``                [23:20]
+``rn``                [19:16]
+``rm``                [15:12]
+``imm16``             [15:0]   (zero-extended unless noted)
+``simm16``            [15:0]   (sign-extended; LDR/STR offsets)
+``cond``              [23:20]  (branches)
+``simm20``            [19:0]   (sign-extended word offset; branches)
+====================  =========================================
+
+Branch offsets are in words relative to the *next* instruction, i.e. a
+branch at address ``A`` with offset ``k`` targets ``A + 4 + 4*k``.
+"""
+
+import enum
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+WORD_SIZE = 4
+
+#: Number of general-purpose registers.  r13 is the conventional stack
+#: pointer and r14 the link register.
+NUM_REGS = 16
+REG_SP = 13
+REG_LR = 14
+
+MASK32 = 0xFFFFFFFF
+
+
+class Op(enum.IntEnum):
+    """SRV32 opcodes (instruction word bits [31:24])."""
+
+    NOP = 0x00
+    # Register ALU: rd <- rn OP rm
+    ADD = 0x01
+    SUB = 0x02
+    AND = 0x03
+    ORR = 0x04
+    EOR = 0x05
+    LSL = 0x06
+    LSR = 0x07
+    ASR = 0x08
+    MUL = 0x09
+    UDIV = 0x0A
+    UREM = 0x0B
+    MOV = 0x0C  # rd <- rm
+    MVN = 0x0D  # rd <- ~rm
+    CMP = 0x0E  # flags <- rn - rm
+    # Immediate ALU: rd <- rn OP zext(imm16)
+    ADDI = 0x10
+    SUBI = 0x11
+    ANDI = 0x12
+    ORRI = 0x13
+    EORI = 0x14
+    LSLI = 0x15
+    LSRI = 0x16
+    ASRI = 0x17
+    MULI = 0x18
+    MOVI = 0x19  # rd <- zext(imm16)
+    MOVT = 0x1A  # rd[31:16] <- imm16
+    CMPI = 0x1B  # flags <- rn - zext(imm16)
+    # Memory: address = rn + simm16
+    LDR = 0x20
+    STR = 0x21
+    LDRB = 0x22
+    STRB = 0x23
+    LDRT = 0x24  # load with user privileges (ARM-style nonprivileged access)
+    STRT = 0x25  # store with user privileges
+    # Control flow
+    B = 0x30  # conditional direct branch
+    BL = 0x31  # conditional direct call (lr <- return address)
+    BR = 0x32  # indirect branch to rn
+    BLR = 0x33  # indirect call to rn
+    # System
+    SWI = 0x40  # system call, imm16 number
+    SRET = 0x41  # return from exception (pc <- ELR, psr <- SPSR)
+    HALT = 0x42  # stop simulation with exit code imm16
+    CPS = 0x43  # change processor state (privileged)
+    MRC = 0x44  # rd <- coprocessor[rn][imm8]
+    MCR = 0x45  # coprocessor[rn][imm8] <- rd
+    WFI = 0x46  # wait for interrupt
+    UND = 0xFF  # canonical architecturally-undefined encoding
+
+
+class Cond(enum.IntEnum):
+    """Branch condition codes (bits [23:20] of B/BL)."""
+
+    AL = 0  # always
+    EQ = 1  # Z
+    NE = 2  # !Z
+    LT = 3  # N != V (signed less-than)
+    GE = 4  # N == V
+    LE = 5  # Z or N != V
+    GT = 6  # !Z and N == V
+    LO = 7  # !C (unsigned lower)
+    HS = 8  # C  (unsigned higher-or-same)
+    MI = 9  # N
+    PL = 10  # !N
+
+
+#: Opcodes whose imm16 field is interpreted as signed.
+_SIGNED_IMM_OPS = frozenset({Op.LDR, Op.STR, Op.LDRB, Op.STRB, Op.LDRT, Op.STRT})
+
+#: The set of valid opcode values, for fast decode checks.
+VALID_OPCODES = frozenset(int(op) for op in Op)
+
+#: Three-register ALU opcodes.
+ALU_REG_OPS = frozenset(
+    {Op.ADD, Op.SUB, Op.AND, Op.ORR, Op.EOR, Op.LSL, Op.LSR, Op.ASR, Op.MUL, Op.UDIV, Op.UREM}
+)
+#: Two-register-plus-immediate ALU opcodes.
+ALU_IMM_OPS = frozenset(
+    {Op.ADDI, Op.SUBI, Op.ANDI, Op.ORRI, Op.EORI, Op.LSLI, Op.LSRI, Op.ASRI, Op.MULI}
+)
+#: Memory access opcodes.
+MEM_OPS = frozenset({Op.LDR, Op.STR, Op.LDRB, Op.STRB, Op.LDRT, Op.STRT})
+LOAD_OPS = frozenset({Op.LDR, Op.LDRB, Op.LDRT})
+STORE_OPS = frozenset({Op.STR, Op.STRB, Op.STRT})
+NONPRIV_OPS = frozenset({Op.LDRT, Op.STRT})
+#: Opcodes that (may) change the control flow.
+BRANCH_OPS = frozenset({Op.B, Op.BL, Op.BR, Op.BLR})
+DIRECT_BRANCH_OPS = frozenset({Op.B, Op.BL})
+INDIRECT_BRANCH_OPS = frozenset({Op.BR, Op.BLR})
+#: Opcodes that terminate a translation block in the DBT engine.  CPS is
+#: included because interrupt-mask and privilege changes must become
+#: visible at a block boundary.
+BLOCK_END_OPS = frozenset(
+    {Op.B, Op.BL, Op.BR, Op.BLR, Op.SWI, Op.SRET, Op.HALT, Op.UND, Op.WFI, Op.CPS}
+)
+
+
+def sext(value, bits):
+    """Sign-extend ``value`` interpreted as a ``bits``-wide field."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _check_reg(name, value):
+    if not 0 <= value < NUM_REGS:
+        raise ValueError("%s out of range: %r" % (name, value))
+
+
+def encode(op, rd=0, rn=0, rm=0, imm=0, cond=Cond.AL):
+    """Pack one SRV32 instruction word.
+
+    ``imm`` is interpreted according to the opcode: a signed 16-bit
+    offset for memory accesses, a signed 20-bit word offset for direct
+    branches, and an unsigned 16-bit value otherwise.
+    """
+    op = Op(op)
+    _check_reg("rd", rd)
+    _check_reg("rn", rn)
+    _check_reg("rm", rm)
+    word = int(op) << 24
+    if op in (Op.B, Op.BL):
+        if not -(1 << 19) <= imm < (1 << 19):
+            raise ValueError("branch offset out of range: %d words" % imm)
+        return word | (int(Cond(cond)) << 20) | (imm & 0xFFFFF)
+    if op in _SIGNED_IMM_OPS:
+        if not -(1 << 15) <= imm < (1 << 15):
+            raise ValueError("memory offset out of range: %d" % imm)
+    else:
+        if not 0 <= imm < (1 << 16):
+            raise ValueError("immediate out of range: %d" % imm)
+    return word | (rd << 20) | (rn << 16) | (rm << 12) | (imm & 0xFFFF)
+
+
+def branch_target(pc, simm20):
+    """Return the target of a direct branch at ``pc`` with offset field
+    ``simm20`` (already sign-extended, in words)."""
+    return (pc + 4 + 4 * simm20) & MASK32
+
+
+def branch_offset(pc, target):
+    """Return the word offset field encoding a branch from ``pc`` to
+    ``target``."""
+    delta = (target - (pc + 4)) & MASK32
+    delta = sext(delta, 32)
+    if delta % 4:
+        raise ValueError("branch target not word aligned: 0x%08x" % target)
+    return delta // 4
+
+
+#: A canonical harmless instruction word (NOP), used by benchmarks that
+#: rewrite code to trigger retranslation.
+NOP_WORD = encode(Op.NOP)
+#: The canonical undefined instruction word.
+UND_WORD = encode(Op.UND)

@@ -1,0 +1,22 @@
+"""MiniC: a small C-like language compiled to SRV32 assembly.
+
+The SPEC CPU2006 proxy workloads are written in MiniC rather than
+hand-written assembly.  The language is deliberately small:
+
+- one data type: unsigned 32-bit integers;
+- global scalars and fixed-size global arrays;
+- functions with up to 4 parameters and local scalars;
+- ``if``/``else``, ``while``, ``for``, ``break``, ``continue``,
+  ``return``;
+- the usual C expression operators (unsigned semantics throughout);
+- intrinsics: ``mmio_read(addr)``, ``mmio_write(addr, value)``.
+
+Pipeline: :mod:`repro.lang.lexer` -> :mod:`repro.lang.parser`
+(-> :mod:`repro.lang.ast`) -> :mod:`repro.lang.codegen`.
+"""
+
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+from repro.lang.codegen import CodeGenerator, compile_minic
+
+__all__ = ["Token", "tokenize", "parse", "CodeGenerator", "compile_minic"]

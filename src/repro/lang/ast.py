@@ -1,0 +1,188 @@
+"""MiniC abstract syntax tree nodes.
+
+Nodes are plain data holders; semantic checks happen in the code
+generator.  Every node carries its source line for diagnostics.
+"""
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line):
+        self.line = line
+
+
+# -- top level ---------------------------------------------------------------
+
+
+class Program(Node):
+    __slots__ = ("globals", "functions")
+
+    def __init__(self, globals_, functions, line=1):
+        super().__init__(line)
+        self.globals = globals_
+        self.functions = functions
+
+
+class GlobalVar(Node):
+    __slots__ = ("name", "size", "init")
+
+    def __init__(self, name, size, init, line):
+        super().__init__(line)
+        self.name = name
+        #: None for a scalar, element count for an array.
+        self.size = size
+        self.init = init
+
+
+class Function(Node):
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name, params, body, line):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements, line):
+        super().__init__(line)
+        self.statements = statements
+
+
+class LocalVar(Node):
+    __slots__ = ("name", "init")
+
+    def __init__(self, name, init, line):
+        super().__init__(line)
+        self.name = name
+        self.init = init
+
+
+class Assign(Node):
+    __slots__ = ("target", "index", "value")
+
+    def __init__(self, target, index, value, line):
+        super().__init__(line)
+        self.target = target
+        #: None for a scalar assignment, an expression for array stores.
+        self.index = index
+        self.value = value
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond, then, otherwise, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class ExprStatement(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+class Number(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value & 0xFFFFFFFF
+
+
+class Name(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name, line):
+        super().__init__(line)
+        self.name = name
+
+
+class Index(Node):
+    """Array element read: ``name[expr]``."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name, index, line):
+        super().__init__(line)
+        self.name = name
+        self.index = index
+
+
+class Call(Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args, line):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right

@@ -1,0 +1,624 @@
+"""MiniC code generator: AST -> SRV32 assembly.
+
+Conventions (compatible with the benchmark runtime's register rules):
+
+- expression temporaries live in r4-r9 (a register stack; expressions
+  deeper than 6 are a compile error -- keep workloads shallow);
+- r0-r3 are argument/scratch registers, r3 doubles as address temp;
+- functions preserve r4-r9 and lr in their frame, so calls may appear
+  anywhere in an expression;
+- r10-r12 are never touched (reserved for the benchmark runtime);
+- all arithmetic is unsigned 32-bit with wraparound.
+"""
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+_EXPR_REGS = ("r4", "r5", "r6", "r7", "r8", "r9")
+_SAVED_SLOTS = 7  # lr + r4..r9
+_INTRINSICS = {"mmio_read": 1, "mmio_write": 2, "putc": 1}
+
+#: op -> (swap operands, condition suffix) for comparisons.
+_COMPARISONS = {
+    "==": (False, "eq"),
+    "!=": (False, "ne"),
+    "<": (False, "lo"),
+    ">=": (False, "hs"),
+    "<=": (True, "hs"),
+    ">": (True, "lo"),
+}
+
+#: Binary ops with an immediate form (op, value-transform) for the
+#: constant-right-operand peephole.
+_ALU_IMM = {
+    "+": "addi",
+    "-": "subi",
+    "&": "andi",
+    "|": "orri",
+    "^": "eori",
+    "<<": "lsli",
+    ">>": "lsri",
+    "*": "muli",
+}
+
+_ALU = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "udiv",
+    "%": "urem",
+    "&": "and",
+    "|": "orr",
+    "^": "eor",
+    "<<": "lsl",
+    ">>": "lsr",
+}
+
+
+class CompiledUnit:
+    """Result of compiling a MiniC translation unit."""
+
+    def __init__(self, text_asm, data_asm, globals_map, functions, globals_base):
+        #: Assembly for the function bodies (place in an executable region).
+        self.text_asm = text_asm
+        #: Assembly initialising the globals (``.org``-anchored data).
+        self.data_asm = data_asm
+        #: name -> (address, element_count or None)
+        self.globals_map = globals_map
+        self.functions = tuple(functions)
+        self.globals_base = globals_base
+
+    def global_address(self, name):
+        try:
+            return self.globals_map[name][0]
+        except KeyError:
+            raise KeyError("no such global %r" % name)
+
+    def entry_label(self, name="main"):
+        if name not in self.functions:
+            raise KeyError("no such function %r" % name)
+        return ".fn_%s" % name
+
+
+class _FunctionContext:
+    def __init__(self, function):
+        self.function = function
+        self.locals = {}  # name -> frame offset
+        self.next_slot = 4 * _SAVED_SLOTS
+        self.loop_stack = []  # (continue_label, break_label)
+        self.depth = 0
+
+    def add_local(self, name, line):
+        # Locals are function-scoped; re-declaring a name in a sibling
+        # block reuses the slot (C89-style).
+        if name not in self.locals:
+            self.locals[name] = self.next_slot
+            self.next_slot += 4
+        return self.locals[name]
+
+
+class CodeGenerator:
+    """Generates SRV32 assembly for a parsed MiniC program."""
+
+    def __init__(self, program, globals_base, uart_base=None, optimize=True):
+        self._program = program
+        self._globals_base = globals_base
+        self._uart_base = uart_base
+        self._optimize = optimize
+        self._lines = []
+        self._label_counter = 0
+        self._globals = {}
+        self._functions = {f.name: f for f in program.functions}
+        self._ctx = None
+        self._frame_size = 0
+
+    # -- public -------------------------------------------------------------
+    def generate(self):
+        self._allocate_globals()
+        for function in self._program.functions:
+            self._gen_function(function)
+        text_asm = "\n".join(self._lines) + "\n"
+        data_asm = self._globals_data_asm()
+        return CompiledUnit(
+            text_asm,
+            data_asm,
+            dict(self._globals),
+            [f.name for f in self._program.functions],
+            self._globals_base,
+        )
+
+    # -- layout ---------------------------------------------------------------
+    def _allocate_globals(self):
+        addr = self._globals_base
+        for decl in self._program.globals:
+            if decl.name in self._globals:
+                raise CompileError("duplicate global %r" % decl.name, decl.line)
+            if decl.name in self._functions:
+                raise CompileError(
+                    "global %r collides with a function" % decl.name, decl.line
+                )
+            count = decl.size
+            self._globals[decl.name] = (addr, count)
+            addr += 4 * (count if count is not None else 1)
+
+    def _globals_data_asm(self):
+        lines = [".org 0x%08x" % self._globals_base]
+        for decl in self._program.globals:
+            if decl.size is not None:
+                lines.append(".space %d    ; %s[%d]" % (4 * decl.size, decl.name, decl.size))
+            else:
+                lines.append(".word %d    ; %s" % (decl.init or 0, decl.name))
+        return "\n".join(lines) + "\n"
+
+    # -- helpers -----------------------------------------------------------------
+    def _emit(self, text):
+        self._lines.append("    " + text)
+
+    def _place(self, label):
+        self._lines.append("%s:" % label)
+
+    def _label(self, hint):
+        self._label_counter += 1
+        return ".mc_%s_%d" % (hint, self._label_counter)
+
+    def _push(self, line):
+        ctx = self._ctx
+        if ctx.depth >= len(_EXPR_REGS):
+            raise CompileError(
+                "expression too deep (max %d temporaries); split it up"
+                % len(_EXPR_REGS),
+                line,
+            )
+        reg = _EXPR_REGS[ctx.depth]
+        ctx.depth += 1
+        return reg
+
+    def _pop(self):
+        self._ctx.depth -= 1
+        return _EXPR_REGS[self._ctx.depth]
+
+    def _top(self):
+        return _EXPR_REGS[self._ctx.depth - 1]
+
+    # -- functions ------------------------------------------------------------------
+    def _gen_function(self, function):
+        if len(function.params) > 4:
+            raise CompileError("too many parameters", function.line)
+        self._ctx = _FunctionContext(function)
+        for param in function.params:
+            self._ctx.add_local(param, function.line)
+        # Locals are discovered during generation; emit the body into a
+        # buffer first so the frame size is known for the prologue.
+        body_lines = []
+        outer, self._lines = self._lines, body_lines
+        for index, param in enumerate(function.params):
+            self._emit("str r%d, [sp, #%d]" % (index, self._ctx.locals[param]))
+        self._gen_block(function.body)
+        self._emit("movi r0, 0    ; implicit return value")
+        self._lines = outer
+
+        frame = self._ctx.next_slot
+        self._place(".fn_%s" % function.name)
+        self._emit("subi sp, sp, %d" % frame)
+        self._emit("str lr, [sp]")
+        for index, reg in enumerate(_EXPR_REGS):
+            self._emit("str %s, [sp, #%d]" % (reg, 4 * (index + 1)))
+        self._lines.extend(body_lines)
+        self._place(".fn_%s_ret" % function.name)
+        self._emit("ldr lr, [sp]")
+        for index, reg in enumerate(_EXPR_REGS):
+            self._emit("ldr %s, [sp, #%d]" % (reg, 4 * (index + 1)))
+        self._emit("addi sp, sp, %d" % frame)
+        self._emit("br lr")
+        self._ctx = None
+
+    # -- statements ---------------------------------------------------------------------
+    def _gen_block(self, block):
+        for statement in block.statements:
+            self._gen_statement(statement)
+
+    def _gen_statement(self, node):
+        if isinstance(node, ast.LocalVar):
+            slot = self._ctx.add_local(node.name, node.line)
+            if node.init is not None:
+                self._gen_expr(node.init)
+                self._emit("str %s, [sp, #%d]" % (self._pop(), slot))
+            return
+        if isinstance(node, ast.Assign):
+            self._gen_assign(node)
+            return
+        if isinstance(node, ast.If):
+            self._gen_if(node)
+            return
+        if isinstance(node, ast.While):
+            self._gen_while(node)
+            return
+        if isinstance(node, ast.For):
+            self._gen_for(node)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                self._gen_expr(node.value)
+                self._emit("mov r0, %s" % self._pop())
+            else:
+                self._emit("movi r0, 0")
+            self._emit("b .fn_%s_ret" % self._ctx.function.name)
+            return
+        if isinstance(node, ast.Break):
+            if not self._ctx.loop_stack:
+                raise CompileError("'break' outside a loop", node.line)
+            self._emit("b %s" % self._ctx.loop_stack[-1][1])
+            return
+        if isinstance(node, ast.Continue):
+            if not self._ctx.loop_stack:
+                raise CompileError("'continue' outside a loop", node.line)
+            self._emit("b %s" % self._ctx.loop_stack[-1][0])
+            return
+        if isinstance(node, ast.ExprStatement):
+            self._gen_expr(node.expr)
+            self._pop()
+            return
+        if isinstance(node, ast.Block):
+            self._gen_block(node)
+            return
+        raise CompileError("unsupported statement %r" % type(node).__name__, node.line)
+
+    def _gen_assign(self, node):
+        ctx = self._ctx
+        if node.index is None:
+            if node.target in ctx.locals:
+                self._gen_expr(node.value)
+                self._emit("str %s, [sp, #%d]" % (self._pop(), ctx.locals[node.target]))
+                return
+            if node.target in self._globals:
+                addr, count = self._globals[node.target]
+                if count is not None:
+                    raise CompileError(
+                        "cannot assign to array %r without an index" % node.target,
+                        node.line,
+                    )
+                self._gen_expr(node.value)
+                self._emit("li r3, 0x%08x" % addr)
+                self._emit("str %s, [r3]" % self._pop())
+                return
+            raise CompileError("assignment to unknown name %r" % node.target, node.line)
+        # Array element store.
+        if node.target not in self._globals:
+            raise CompileError("unknown array %r" % node.target, node.line)
+        addr, count = self._globals[node.target]
+        if count is None:
+            raise CompileError("%r is not an array" % node.target, node.line)
+        self._gen_expr(node.index)
+        self._gen_expr(node.value)
+        value = self._pop()
+        index = self._pop()
+        self._emit("lsli %s, %s, 2" % (index, index))
+        self._emit("li r3, 0x%08x" % addr)
+        self._emit("add r3, r3, %s" % index)
+        self._emit("str %s, [r3]" % value)
+
+    def _gen_condition(self, expr, false_label):
+        """Evaluate ``expr`` and branch to ``false_label`` if zero."""
+        self._gen_expr(expr)
+        reg = self._pop()
+        self._emit("cmpi %s, 0" % reg)
+        self._emit("beq %s" % false_label)
+
+    def _gen_if(self, node):
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        self._gen_condition(node.cond, else_label)
+        self._gen_block(node.then)
+        if node.otherwise is not None:
+            self._emit("b %s" % end_label)
+            self._place(else_label)
+            self._gen_block(node.otherwise)
+            self._place(end_label)
+        else:
+            self._place(else_label)
+
+    def _gen_while(self, node):
+        head = self._label("while")
+        end = self._label("endwhile")
+        self._place(head)
+        self._gen_condition(node.cond, end)
+        self._ctx.loop_stack.append((head, end))
+        self._gen_block(node.body)
+        self._ctx.loop_stack.pop()
+        self._emit("b %s" % head)
+        self._place(end)
+
+    def _gen_for(self, node):
+        head = self._label("for")
+        step_label = self._label("forstep")
+        end = self._label("endfor")
+        if node.init is not None:
+            self._gen_statement(node.init)
+        self._place(head)
+        if node.cond is not None:
+            self._gen_condition(node.cond, end)
+        self._ctx.loop_stack.append((step_label, end))
+        self._gen_block(node.body)
+        self._ctx.loop_stack.pop()
+        self._place(step_label)
+        if node.step is not None:
+            self._gen_statement(node.step)
+        self._emit("b %s" % head)
+        self._place(end)
+
+    # -- expressions ------------------------------------------------------------------------
+    def _gen_expr(self, node):
+        if isinstance(node, ast.Number):
+            reg = self._push(node.line)
+            self._emit("li %s, 0x%08x" % (reg, node.value))
+            return
+        if isinstance(node, ast.Name):
+            self._gen_name(node)
+            return
+        if isinstance(node, ast.Index):
+            self._gen_index(node)
+            return
+        if isinstance(node, ast.Call):
+            self._gen_call(node)
+            return
+        if isinstance(node, ast.Unary):
+            self._gen_unary(node)
+            return
+        if isinstance(node, ast.Binary):
+            self._gen_binary(node)
+            return
+        raise CompileError("unsupported expression %r" % type(node).__name__, node.line)
+
+    def _gen_name(self, node):
+        ctx = self._ctx
+        reg = self._push(node.line)
+        if node.name in ctx.locals:
+            self._emit("ldr %s, [sp, #%d]" % (reg, ctx.locals[node.name]))
+            return
+        if node.name in self._globals:
+            addr, count = self._globals[node.name]
+            if count is not None:
+                # The bare name of an array is its base address.
+                self._emit("li %s, 0x%08x" % (reg, addr))
+                return
+            self._emit("li %s, 0x%08x" % (reg, addr))
+            self._emit("ldr %s, [%s]" % (reg, reg))
+            return
+        raise CompileError("unknown name %r" % node.name, node.line)
+
+    def _gen_index(self, node):
+        if node.name not in self._globals:
+            raise CompileError("unknown array %r" % node.name, node.line)
+        addr, count = self._globals[node.name]
+        if count is None:
+            raise CompileError("%r is not an array" % node.name, node.line)
+        self._gen_expr(node.index)
+        reg = self._top()
+        self._emit("lsli %s, %s, 2" % (reg, reg))
+        self._emit("li r3, 0x%08x" % addr)
+        self._emit("add %s, r3, %s" % (reg, reg))
+        self._emit("ldr %s, [%s]" % (reg, reg))
+
+    def _gen_call(self, node):
+        if node.name in _INTRINSICS:
+            self._gen_intrinsic(node)
+            return
+        if node.name not in self._functions:
+            raise CompileError("call to unknown function %r" % node.name, node.line)
+        arity = len(self._functions[node.name].params)
+        if len(node.args) != arity:
+            raise CompileError(
+                "%s() takes %d arguments, got %d" % (node.name, arity, len(node.args)),
+                node.line,
+            )
+        base_depth = self._ctx.depth
+        for arg in node.args:
+            self._gen_expr(arg)
+        for index in range(len(node.args)):
+            self._emit("mov r%d, %s" % (index, _EXPR_REGS[base_depth + index]))
+        self._ctx.depth = base_depth
+        self._emit("bl .fn_%s" % node.name)
+        reg = self._push(node.line)
+        self._emit("mov %s, r0" % reg)
+
+    def _gen_intrinsic(self, node):
+        arity = _INTRINSICS[node.name]
+        if len(node.args) != arity:
+            raise CompileError(
+                "%s() takes %d arguments" % (node.name, arity), node.line
+            )
+        if node.name == "putc":
+            if self._uart_base is None:
+                raise CompileError(
+                    "putc() needs a console: compile with uart_base set",
+                    node.line,
+                )
+            self._gen_expr(node.args[0])
+            reg = self._top()
+            self._emit("li r3, 0x%08x" % self._uart_base)
+            self._emit("strb %s, [r3]" % reg)
+            # putc evaluates to the written character.
+            return
+        if node.name == "mmio_read":
+            self._gen_expr(node.args[0])
+            reg = self._top()
+            self._emit("ldr %s, [%s]" % (reg, reg))
+            return
+        # mmio_write(addr, value) evaluates to 0.
+        self._gen_expr(node.args[0])
+        self._gen_expr(node.args[1])
+        value = self._pop()
+        addr = self._pop()
+        self._emit("str %s, [%s]" % (value, addr))
+        reg = self._push(node.line)
+        self._emit("movi %s, 0" % reg)
+
+    def _gen_unary(self, node):
+        self._gen_expr(node.operand)
+        reg = self._top()
+        if node.op == "-":
+            self._emit("mvn %s, %s" % (reg, reg))
+            self._emit("addi %s, %s, 1" % (reg, reg))
+        elif node.op == "~":
+            self._emit("mvn %s, %s" % (reg, reg))
+        elif node.op == "!":
+            done = self._label("notdone")
+            self._emit("cmpi %s, 0" % reg)
+            self._emit("movi %s, 1" % reg)
+            self._emit("beq %s" % done)
+            self._emit("movi %s, 0" % reg)
+            self._place(done)
+        else:  # pragma: no cover - parser restricts operators
+            raise CompileError("unsupported unary %r" % node.op, node.line)
+
+    def _gen_binary(self, node):
+        if node.op in ("&&", "||"):
+            self._gen_logical(node)
+            return
+        if node.op in _COMPARISONS:
+            self._gen_comparison(node)
+            return
+        mnemonic = _ALU.get(node.op)
+        if mnemonic is None:  # pragma: no cover - parser restricts operators
+            raise CompileError("unsupported operator %r" % node.op, node.line)
+        # Peephole: a small-constant right operand uses the immediate
+        # form, saving a register and the li materialisation.
+        if (
+            self._optimize
+            and isinstance(node.right, ast.Number)
+            and node.op in _ALU_IMM
+            and 0 <= node.right.value < 0x10000
+        ):
+            self._gen_expr(node.left)
+            left = self._top()
+            value = node.right.value
+            if node.op in ("<<", ">>"):
+                value &= 31
+            self._emit("%s %s, %s, %d" % (_ALU_IMM[node.op], left, left, value))
+            return
+        self._gen_expr(node.left)
+        self._gen_expr(node.right)
+        right = self._pop()
+        left = self._top()
+        self._emit("%s %s, %s, %s" % (mnemonic, left, left, right))
+
+    def _gen_comparison(self, node):
+        swap, cond = _COMPARISONS[node.op]
+        # Peephole: compare against a small constant with cmpi.  The
+        # swapped forms rewrite unsigned "a <= k" as "a < k+1" and
+        # "a > k" as "a >= k+1" (exact for k < 0xFFFF).
+        if (
+            self._optimize
+            and isinstance(node.right, ast.Number)
+            and (node.right.value < 0x10000 if not swap else node.right.value < 0xFFFF)
+        ):
+            value = node.right.value
+            if swap:
+                # "a <= k" (swap, hs) -> "a < k+1" (lo);
+                # "a > k"  (swap, lo) -> "a >= k+1" (hs).
+                value += 1
+                cond = {"hs": "lo", "lo": "hs"}[cond]
+            self._gen_expr(node.left)
+            left = self._top()
+            done = self._label("cmpdone")
+            self._emit("cmpi %s, %d" % (left, value))
+            self._emit("movi %s, 1" % left)
+            self._emit("b%s %s" % (cond, done))
+            self._emit("movi %s, 0" % left)
+            self._place(done)
+            return
+        self._gen_expr(node.left)
+        self._gen_expr(node.right)
+        right = self._pop()
+        left = self._top()
+        done = self._label("cmpdone")
+        if swap:
+            self._emit("cmp %s, %s" % (right, left))
+        else:
+            self._emit("cmp %s, %s" % (left, right))
+        self._emit("movi %s, 1" % left)
+        self._emit("b%s %s" % (cond, done))
+        self._emit("movi %s, 0" % left)
+        self._place(done)
+
+    def _gen_logical(self, node):
+        # '||' is rewritten to !(!a && !b) before codegen, so only '&&'
+        # reaches this point; it short-circuits on a false left side.
+        if node.op != "&&":  # pragma: no cover - rewrite guarantees this
+            raise CompileError("unexpected logical operator %r" % node.op, node.line)
+        false_label = self._label("sc_false")
+        done = self._label("sc_done")
+        self._gen_expr(node.left)
+        reg = self._pop()
+        self._emit("cmpi %s, 0" % reg)
+        self._emit("beq %s" % false_label)
+        self._gen_expr(node.right)
+        reg2 = self._pop()
+        assert reg2 == reg
+        self._emit("cmpi %s, 0" % reg)
+        self._emit("beq %s" % false_label)
+        self._emit("movi %s, 1" % reg)
+        self._emit("b %s" % done)
+        self._place(false_label)
+        self._emit("movi %s, 0" % reg)
+        self._place(done)
+        self._push(node.line)
+
+
+def _rewrite_or(node):
+    """Rewrite ``a || b`` into ``!(!a && !b)`` so codegen only needs '&&'."""
+    if isinstance(node, ast.Binary):
+        node.left = _rewrite_or(node.left)
+        node.right = _rewrite_or(node.right)
+        if node.op == "||":
+            inner = ast.Binary(
+                "&&",
+                ast.Unary("!", node.left, node.line),
+                ast.Unary("!", node.right, node.line),
+                node.line,
+            )
+            return ast.Unary("!", inner, node.line)
+        return node
+    if isinstance(node, ast.Unary):
+        node.operand = _rewrite_or(node.operand)
+        return node
+    if isinstance(node, ast.Call):
+        node.args = [_rewrite_or(arg) for arg in node.args]
+        return node
+    if isinstance(node, ast.Index):
+        node.index = _rewrite_or(node.index)
+        return node
+    return node
+
+
+def _rewrite_statement(node):
+    for attr in ("cond", "value", "expr", "init", "step", "index"):
+        if hasattr(node, attr):
+            child = getattr(node, attr)
+            if isinstance(child, ast.Node):
+                if isinstance(child, (ast.Block, ast.LocalVar, ast.Assign, ast.ExprStatement)):
+                    _rewrite_statement(child)
+                else:
+                    setattr(node, attr, _rewrite_or(child))
+    for attr in ("then", "otherwise", "body", "statements"):
+        child = getattr(node, attr, None)
+        if isinstance(child, ast.Block):
+            _rewrite_statement(child)
+        elif isinstance(child, list):
+            for sub in child:
+                _rewrite_statement(sub)
+
+
+def compile_minic(source, globals_base=0x0201_0000, uart_base=None, optimize=True):
+    """Compile MiniC source, returning a :class:`CompiledUnit`.
+
+    ``uart_base`` enables the ``putc(c)`` intrinsic (guest console
+    output through the platform UART).  ``optimize`` enables the
+    constant-immediate peephole (on by default).
+    """
+    program = parse(source)
+    for function in program.functions:
+        _rewrite_statement(function.body)
+    generator = CodeGenerator(program, globals_base, uart_base=uart_base, optimize=optimize)
+    return generator.generate()

@@ -1,0 +1,128 @@
+"""MiniC lexer."""
+
+from repro.errors import CompileError
+
+KEYWORDS = frozenset(
+    {"var", "func", "if", "else", "while", "for", "return", "break", "continue"}
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+)
+
+
+class Token:
+    """One lexical token: ``kind`` is 'num', 'ident', 'kw', 'op' or 'eof'."""
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%s, %r, line=%d)" % (self.kind, self.value, self.line)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Token)
+            and other.kind == self.kind
+            and other.value == self.value
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.value))
+
+
+def tokenize(source):
+    """Tokenize MiniC source; returns a list ending with an 'eof' token."""
+    tokens = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                if j == i + 2:
+                    raise CompileError("malformed hex literal", line)
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            if j < n and (source[j].isalpha() or source[j] == "_"):
+                raise CompileError("malformed number %r" % source[i : j + 1], line)
+            tokens.append(Token("num", value & 0xFFFFFFFF, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError("unexpected character %r" % ch, line)
+    tokens.append(Token("eof", None, line))
+    return tokens

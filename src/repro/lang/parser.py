@@ -1,0 +1,280 @@
+"""MiniC recursive-descent parser."""
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def _cur(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        token = self._cur
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind, value=None):
+        token = self._cur
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _accept(self, kind, value=None):
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        if not self._check(kind, value):
+            raise CompileError(
+                "expected %s%s, got %r"
+                % (kind, " %r" % value if value else "", self._cur.value),
+                self._cur.line,
+            )
+        return self._advance()
+
+    # -- grammar -------------------------------------------------------------
+    def parse_program(self):
+        globals_ = []
+        functions = []
+        while not self._check("eof"):
+            if self._check("kw", "var"):
+                globals_.append(self._global_var())
+            elif self._check("kw", "func"):
+                functions.append(self._function())
+            else:
+                raise CompileError(
+                    "expected 'var' or 'func' at top level, got %r" % self._cur.value,
+                    self._cur.line,
+                )
+        return ast.Program(globals_, functions)
+
+    def _global_var(self):
+        line = self._expect("kw", "var").line
+        name = self._expect("ident").value
+        size = None
+        init = None
+        if self._accept("op", "["):
+            size = self._expect("num").value
+            if size <= 0:
+                raise CompileError("array size must be positive", line)
+            self._expect("op", "]")
+        if self._accept("op", "="):
+            if size is not None:
+                raise CompileError("array initialisers are not supported", line)
+            init = self._expect("num").value
+        self._expect("op", ";")
+        return ast.GlobalVar(name, size, init, line)
+
+    def _function(self):
+        line = self._expect("kw", "func").line
+        name = self._expect("ident").value
+        self._expect("op", "(")
+        params = []
+        if not self._check("op", ")"):
+            while True:
+                params.append(self._expect("ident").value)
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._block()
+        if len(params) > 4:
+            raise CompileError("functions take at most 4 parameters", line)
+        return ast.Function(name, params, body, line)
+
+    def _block(self):
+        line = self._expect("op", "{").line
+        statements = []
+        while not self._check("op", "}"):
+            statements.append(self._statement())
+        self._expect("op", "}")
+        return ast.Block(statements, line)
+
+    def _statement(self):
+        token = self._cur
+        if token.kind == "kw":
+            if token.value == "var":
+                return self._local_var()
+            if token.value == "if":
+                return self._if()
+            if token.value == "while":
+                return self._while()
+            if token.value == "for":
+                return self._for()
+            if token.value == "return":
+                line = self._advance().line
+                value = None
+                if not self._check("op", ";"):
+                    value = self._expression()
+                self._expect("op", ";")
+                return ast.Return(value, line)
+            if token.value == "break":
+                line = self._advance().line
+                self._expect("op", ";")
+                return ast.Break(line)
+            if token.value == "continue":
+                line = self._advance().line
+                self._expect("op", ";")
+                return ast.Continue(line)
+        stmt = self._simple_statement()
+        self._expect("op", ";")
+        return stmt
+
+    def _simple_statement(self):
+        """An assignment or expression statement (no trailing ';')."""
+        if self._check("ident"):
+            # Look ahead for an assignment target.
+            save = self._pos
+            name = self._advance().value
+            index = None
+            if self._accept("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+            if self._accept("op", "="):
+                value = self._expression()
+                return ast.Assign(name, index, value, self._tokens[save].line)
+            self._pos = save
+        line = self._cur.line
+        return ast.ExprStatement(self._expression(), line)
+
+    def _local_var(self):
+        line = self._expect("kw", "var").line
+        name = self._expect("ident").value
+        if self._check("op", "["):
+            raise CompileError("local arrays are not supported", line)
+        init = None
+        if self._accept("op", "="):
+            init = self._expression()
+        self._expect("op", ";")
+        return ast.LocalVar(name, init, line)
+
+    def _if(self):
+        line = self._expect("kw", "if").line
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        then = self._block()
+        otherwise = None
+        if self._accept("kw", "else"):
+            if self._check("kw", "if"):
+                otherwise = ast.Block([self._if()], self._cur.line)
+            else:
+                otherwise = self._block()
+        return ast.If(cond, then, otherwise, line)
+
+    def _while(self):
+        line = self._expect("kw", "while").line
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        body = self._block()
+        return ast.While(cond, body, line)
+
+    def _for(self):
+        line = self._expect("kw", "for").line
+        self._expect("op", "(")
+        init = None
+        if not self._check("op", ";"):
+            if self._check("kw", "var"):
+                # 'for (var i = 0; ...)': a local declaration as init.
+                line_init = self._advance().line
+                name = self._expect("ident").value
+                value = None
+                if self._accept("op", "="):
+                    value = self._expression()
+                init = ast.LocalVar(name, value, line_init)
+            else:
+                init = self._simple_statement()
+        self._expect("op", ";")
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._expression()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._simple_statement()
+        self._expect("op", ")")
+        body = self._block()
+        return ast.For(init, cond, step, body, line)
+
+    # -- expressions -----------------------------------------------------------
+    def _expression(self, min_precedence=1):
+        left = self._unary()
+        while True:
+            token = self._cur
+            if token.kind != "op":
+                break
+            precedence = _PRECEDENCE.get(token.value)
+            if precedence is None or precedence < min_precedence:
+                break
+            self._advance()
+            right = self._expression(precedence + 1)
+            left = ast.Binary(token.value, left, right, token.line)
+        return left
+
+    def _unary(self):
+        token = self._cur
+        if token.kind == "op" and token.value in ("-", "!", "~"):
+            self._advance()
+            return ast.Unary(token.value, self._unary(), token.line)
+        return self._primary()
+
+    def _primary(self):
+        token = self._cur
+        if token.kind == "num":
+            self._advance()
+            return ast.Number(token.value, token.line)
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("op", "("):
+                args = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept("op", ","):
+                            break
+                self._expect("op", ")")
+                return ast.Call(token.value, args, token.line)
+            if self._accept("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+                return ast.Index(token.value, index, token.line)
+            return ast.Name(token.value, token.line)
+        if self._accept("op", "("):
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise CompileError("unexpected token %r" % token.value, token.line)
+
+
+def parse(source):
+    """Parse MiniC source into an :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()

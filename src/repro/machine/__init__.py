@@ -1,0 +1,64 @@
+"""Simulated hardware substrate: memory, MMU, TLB, devices, boards.
+
+This package models the *target hardware platform* of a full-system
+simulation (cf. Figure 1 of the paper): physical memory, an MMU with
+architecture-profile-specific page-table formats, TLB structures,
+uncore devices (UART, timer, interrupt controller, a side-effect-free
+"safe" test device, and the test-control device used by the harness to
+delimit benchmark phases), and coprocessors.
+"""
+
+from repro.machine.memory import PhysicalMemory, RamRegion
+from repro.machine.cpu import CPUState, PSR_MODE_KERNEL, PSR_IRQ_ENABLE, Mode
+from repro.machine.mmu import (
+    AccessType,
+    Fault,
+    FaultType,
+    PageTableWalker,
+    TranslationResult,
+    AP_KERNEL_RW,
+    AP_USER_RO,
+    AP_USER_RW,
+    AP_READ_ONLY,
+)
+from repro.machine.tlb import SetAssociativeTLB, SoftTLB
+from repro.machine.devices import (
+    Device,
+    InterruptController,
+    SafeDevice,
+    TestControlDevice,
+    TimerDevice,
+    Uart,
+)
+from repro.machine.coprocessor import CP15, FPCoprocessor, CoprocessorFile
+from repro.machine.board import Board
+
+__all__ = [
+    "PhysicalMemory",
+    "RamRegion",
+    "CPUState",
+    "Mode",
+    "PSR_MODE_KERNEL",
+    "PSR_IRQ_ENABLE",
+    "AccessType",
+    "Fault",
+    "FaultType",
+    "PageTableWalker",
+    "TranslationResult",
+    "AP_KERNEL_RW",
+    "AP_USER_RO",
+    "AP_USER_RW",
+    "AP_READ_ONLY",
+    "SetAssociativeTLB",
+    "SoftTLB",
+    "Device",
+    "InterruptController",
+    "SafeDevice",
+    "TestControlDevice",
+    "TimerDevice",
+    "Uart",
+    "CP15",
+    "FPCoprocessor",
+    "CoprocessorFile",
+    "Board",
+]

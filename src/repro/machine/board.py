@@ -1,0 +1,76 @@
+"""Board: one CPU plus the platform's memory map, assembled and ready.
+
+A :class:`Board` is built from a platform support package (see
+:mod:`repro.platform`) and owns the physical memory, devices,
+coprocessors and CPU state.  Engines attach to a board; the board is
+engine-agnostic so the same loaded guest image can be run on any
+simulator.
+"""
+
+from repro.machine.coprocessor import CoprocessorFile
+from repro.machine.cpu import CPUState
+from repro.machine.devices import (
+    InterruptController,
+    SafeDevice,
+    TestControlDevice,
+    TimerDevice,
+    Uart,
+)
+from repro.machine.memory import PhysicalMemory
+from repro.machine.mmu import PageTableWalker
+
+DEVICE_WINDOW = 0x1000
+
+
+class Board:
+    """A complete simulated machine instance."""
+
+    def __init__(self, platform):
+        self.platform = platform
+        self.memory = PhysicalMemory()
+        self.memory.add_ram(platform.ram_base, platform.ram_size)
+
+        self.uart = Uart()
+        self.testctl = TestControlDevice()
+        self.safedev = SafeDevice()
+        self.timer = TimerDevice()
+        self.intc = InterruptController()
+
+        self.memory.add_device(platform.uart_base, DEVICE_WINDOW, self.uart)
+        self.memory.add_device(platform.testctl_base, DEVICE_WINDOW, self.testctl)
+        self.memory.add_device(platform.safedev_base, DEVICE_WINDOW, self.safedev)
+        self.memory.add_device(platform.timer_base, DEVICE_WINDOW, self.timer)
+        self.memory.add_device(platform.intc_base, DEVICE_WINDOW, self.intc)
+
+        self.cpu = CPUState()
+        self.cops = CoprocessorFile(self.cpu)
+        self.walker = PageTableWalker(self.memory)
+
+    @property
+    def cp15(self):
+        return self.cops.cp15
+
+    def load(self, program):
+        """Load an assembled :class:`~repro.isa.assembler.Program` into
+        RAM and point the CPU at its entry."""
+        program.load_into(self.memory.write_bytes)
+        self.cpu.reset(entry=program.entry)
+
+    def set_iterations(self, count):
+        """Configure the guest-visible iteration count (read by the
+        benchmark kernels from the test-control device)."""
+        self.testctl.iterations = int(count)
+
+    def reset(self):
+        """Reset CPU, coprocessors and device state (RAM is preserved)."""
+        self.cpu.reset()
+        self.cops.reset()
+        for device in (self.uart, self.testctl, self.safedev, self.timer, self.intc):
+            device.reset()
+
+    def device_for(self, paddr):
+        hit = self.memory.find_device(paddr)
+        return hit[2] if hit is not None else None
+
+    def __repr__(self):
+        return "Board(platform=%s)" % self.platform.name

@@ -1,0 +1,237 @@
+"""Coprocessors: the system-control coprocessor (CP15) and an FP-style
+coprocessor (CP1).
+
+CP15 register map (accessed via MRC/MCR with ``p15, cN``):
+
+=====  =========  ==============================================
+creg   name       behaviour
+=====  =========  ==============================================
+0      DEVID      read-only device identifier
+1      SCTLR      bit0 enables the MMU
+2      TTBR       translation table base (16 KiB aligned)
+3      DACR       domain access control -- the ARM profile's
+                  "safe" coprocessor read target
+4      FSR        fault status (set on aborts)
+5      FAR        fault address (set on aborts)
+6      VBAR       exception vector base
+7      TLBFLUSH   write-only: flush the entire data TLB
+8      TLBIMVA    write-only: invalidate the entry for the
+                  written virtual address
+9      ASID       address-space identifier (context ID)
+10     ELR        exception link register (rw from handlers)
+11     SPSR       saved PSR (rw from handlers)
+12     CPUID      read-only CPU identifier
+=====  =========  ==============================================
+
+CP1 register map:
+
+=====  =========  ==============================================
+0      FPCR       rw control register
+1      FPRESET    write-only: reset the coprocessor -- the x86
+                  profile's "safe" coprocessor access target
+=====  =========  ==============================================
+"""
+
+from repro.errors import MachineError
+
+CP15_DEVID = 0
+CP15_SCTLR = 1
+CP15_TTBR = 2
+CP15_DACR = 3
+CP15_FSR = 4
+CP15_FAR = 5
+CP15_VBAR = 6
+CP15_TLBFLUSH = 7
+CP15_TLBIMVA = 8
+CP15_ASID = 9
+CP15_ELR = 10
+CP15_SPSR = 11
+CP15_CPUID = 12
+
+CP1_FPCR = 0
+CP1_FPRESET = 1
+
+SCTLR_MMU_ENABLE = 1
+
+
+class UndefinedCoprocessorAccess(Exception):
+    """Raised on access to an undefined coprocessor or register; the
+    engines convert this into a guest UNDEF exception."""
+
+
+class CP15:
+    """System control coprocessor.
+
+    The owning engine supplies ``tlb_flush``/``tlb_invalidate`` hooks so
+    the coprocessor drives whatever TLB structure the engine uses.
+    """
+
+    def __init__(self, cpu, devid=0x5256_3332):
+        self._cpu = cpu
+        self.devid = devid
+        self.sctlr = 0
+        self.ttbr = 0
+        self.dacr = 0x0000_0001
+        self.fsr = 0
+        self.far = 0
+        self.vbar = 0
+        self.asid = 0
+        self.cpuid = 0x0001_0001
+        self.tlb_flush_hook = None
+        self.tlb_invalidate_hook = None
+        self.asid_hook = None
+        self.reads = 0
+        self.writes = 0
+        self.tlb_flush_ops = 0
+        self.tlb_invalidate_ops = 0
+
+    @property
+    def mmu_enabled(self):
+        return bool(self.sctlr & SCTLR_MMU_ENABLE)
+
+    def read(self, creg):
+        self.reads += 1
+        if creg == CP15_DEVID:
+            return self.devid
+        if creg == CP15_SCTLR:
+            return self.sctlr
+        if creg == CP15_TTBR:
+            return self.ttbr
+        if creg == CP15_DACR:
+            return self.dacr
+        if creg == CP15_FSR:
+            return self.fsr
+        if creg == CP15_FAR:
+            return self.far
+        if creg == CP15_VBAR:
+            return self.vbar
+        if creg == CP15_ASID:
+            return self.asid
+        if creg == CP15_ELR:
+            return self._cpu.elr
+        if creg == CP15_SPSR:
+            return self._cpu.spsr
+        if creg == CP15_CPUID:
+            return self.cpuid
+        raise UndefinedCoprocessorAccess("cp15 read c%d" % creg)
+
+    def write(self, creg, value):
+        self.writes += 1
+        if creg == CP15_SCTLR:
+            self.sctlr = value
+            return
+        if creg == CP15_TTBR:
+            self.ttbr = value
+            return
+        if creg == CP15_DACR:
+            self.dacr = value
+            return
+        if creg == CP15_FSR:
+            self.fsr = value
+            return
+        if creg == CP15_FAR:
+            self.far = value
+            return
+        if creg == CP15_VBAR:
+            if value & 0x3:
+                raise MachineError("VBAR must be word aligned")
+            self.vbar = value
+            return
+        if creg == CP15_TLBFLUSH:
+            self.tlb_flush_ops += 1
+            if self.tlb_flush_hook is not None:
+                self.tlb_flush_hook()
+            return
+        if creg == CP15_TLBIMVA:
+            self.tlb_invalidate_ops += 1
+            if self.tlb_invalidate_hook is not None:
+                self.tlb_invalidate_hook(value)
+            return
+        if creg == CP15_ASID:
+            self.asid = value & 0xFF
+            if self.asid_hook is not None:
+                self.asid_hook(self.asid)
+            return
+        if creg == CP15_ELR:
+            self._cpu.elr = value & 0xFFFFFFFF
+            return
+        if creg == CP15_SPSR:
+            self._cpu.spsr = value & 0xFFFFFFFF
+            return
+        raise UndefinedCoprocessorAccess("cp15 write c%d" % creg)
+
+    def record_fault(self, fault):
+        self.fsr = int(fault.fault_type)
+        self.far = fault.vaddr & 0xFFFFFFFF
+
+    def reset(self):
+        self.sctlr = 0
+        self.ttbr = 0
+        self.dacr = 0x0000_0001
+        self.fsr = 0
+        self.far = 0
+        self.vbar = 0
+        self.asid = 0
+        self.reads = 0
+        self.writes = 0
+        self.tlb_flush_ops = 0
+        self.tlb_invalidate_ops = 0
+
+
+class FPCoprocessor:
+    """A floating-point-style coprocessor whose only interesting
+    behaviour is being reset (the x86 profile's safe access)."""
+
+    def __init__(self):
+        self.fpcr = 0x0000_037F
+        self.resets = 0
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, creg):
+        self.reads += 1
+        if creg == CP1_FPCR:
+            return self.fpcr
+        raise UndefinedCoprocessorAccess("cp1 read c%d" % creg)
+
+    def write(self, creg, value):
+        self.writes += 1
+        if creg == CP1_FPCR:
+            self.fpcr = value
+            return
+        if creg == CP1_FPRESET:
+            self.fpcr = 0x0000_037F
+            self.resets += 1
+            return
+        raise UndefinedCoprocessorAccess("cp1 write c%d" % creg)
+
+    def reset(self):
+        self.fpcr = 0x0000_037F
+        self.resets = 0
+        self.reads = 0
+        self.writes = 0
+
+
+class CoprocessorFile:
+    """The per-CPU collection of coprocessors, indexed by number."""
+
+    def __init__(self, cpu):
+        self.cp15 = CP15(cpu)
+        self.cp1 = FPCoprocessor()
+        self._by_number = {15: self.cp15, 1: self.cp1}
+
+    def read(self, cpnum, creg):
+        cp = self._by_number.get(cpnum)
+        if cp is None:
+            raise UndefinedCoprocessorAccess("no coprocessor p%d" % cpnum)
+        return cp.read(creg) & 0xFFFFFFFF
+
+    def write(self, cpnum, creg, value):
+        cp = self._by_number.get(cpnum)
+        if cp is None:
+            raise UndefinedCoprocessorAccess("no coprocessor p%d" % cpnum)
+        cp.write(creg, value & 0xFFFFFFFF)
+
+    def reset(self):
+        self.cp15.reset()
+        self.cp1.reset()

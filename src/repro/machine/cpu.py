@@ -1,0 +1,162 @@
+"""Architectural CPU state for SRV32.
+
+The state is engine-agnostic: every simulator operates on the same
+:class:`CPUState` so programs can be migrated between engines and the
+differential tests can compare final states directly.
+"""
+
+import enum
+
+from repro.isa.encoding import NUM_REGS
+
+MASK32 = 0xFFFFFFFF
+
+# PSR layout
+PSR_MODE_KERNEL = 1 << 0  # 1 = kernel, 0 = user
+PSR_IRQ_ENABLE = 1 << 1  # 1 = IRQs enabled
+PSR_FLAG_N = 1 << 31
+PSR_FLAG_Z = 1 << 30
+PSR_FLAG_C = 1 << 29
+PSR_FLAG_V = 1 << 28
+PSR_FLAGS_MASK = PSR_FLAG_N | PSR_FLAG_Z | PSR_FLAG_C | PSR_FLAG_V
+
+
+class Mode(enum.IntEnum):
+    USER = 0
+    KERNEL = 1
+
+
+class ExceptionVector(enum.IntEnum):
+    """Exception vector indices.  The handler for vector ``i`` lives at
+    ``VBAR + 4*i`` (normally a branch to the real handler)."""
+
+    RESET = 0
+    UNDEF = 1
+    SWI = 2
+    PREFETCH_ABORT = 3
+    DATA_ABORT = 4
+    IRQ = 5
+
+
+class CPUState:
+    """Registers, PSR, and exception banking for one SRV32 core."""
+
+    __slots__ = ("regs", "pc", "psr", "elr", "spsr", "halted", "halt_code", "waiting")
+
+    def __init__(self):
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.psr = PSR_MODE_KERNEL  # reset into kernel mode, IRQs off
+        self.elr = 0
+        self.spsr = 0
+        self.halted = False
+        self.halt_code = 0
+        self.waiting = False  # set by WFI until an interrupt arrives
+
+    # -- mode/flag helpers -----------------------------------------------
+    @property
+    def mode(self):
+        return Mode.KERNEL if self.psr & PSR_MODE_KERNEL else Mode.USER
+
+    @property
+    def is_kernel(self):
+        return bool(self.psr & PSR_MODE_KERNEL)
+
+    @property
+    def irqs_enabled(self):
+        return bool(self.psr & PSR_IRQ_ENABLE)
+
+    def set_nz(self, value):
+        psr = self.psr & ~PSR_FLAGS_MASK
+        if value == 0:
+            psr |= PSR_FLAG_Z
+        if value & 0x80000000:
+            psr |= PSR_FLAG_N
+        self.psr = psr
+
+    def set_flags_sub(self, a, b):
+        """Set NZCV for the comparison ``a - b`` (32-bit unsigned inputs)."""
+        result = (a - b) & MASK32
+        psr = self.psr & ~PSR_FLAGS_MASK
+        if result == 0:
+            psr |= PSR_FLAG_Z
+        if result & 0x80000000:
+            psr |= PSR_FLAG_N
+        if a >= b:
+            psr |= PSR_FLAG_C
+        if ((a ^ b) & (a ^ result)) & 0x80000000:
+            psr |= PSR_FLAG_V
+        self.psr = psr
+
+    def condition_holds(self, cond):
+        """Evaluate a branch condition code against the current flags."""
+        psr = self.psr
+        n = bool(psr & PSR_FLAG_N)
+        z = bool(psr & PSR_FLAG_Z)
+        c = bool(psr & PSR_FLAG_C)
+        v = bool(psr & PSR_FLAG_V)
+        if cond == 0:  # AL
+            return True
+        if cond == 1:  # EQ
+            return z
+        if cond == 2:  # NE
+            return not z
+        if cond == 3:  # LT
+            return n != v
+        if cond == 4:  # GE
+            return n == v
+        if cond == 5:  # LE
+            return z or n != v
+        if cond == 6:  # GT
+            return (not z) and n == v
+        if cond == 7:  # LO
+            return not c
+        if cond == 8:  # HS
+            return c
+        if cond == 9:  # MI
+            return n
+        if cond == 10:  # PL
+            return not n
+        raise ValueError("bad condition code %r" % cond)
+
+    # -- exception entry/exit ----------------------------------------------
+    def enter_exception(self, return_pc, vbar, vector):
+        """Bank state and redirect to the exception vector.
+
+        ``return_pc`` is the value the handler should eventually resume
+        at (semantics are per exception type; see the engine code).
+        """
+        self.spsr = self.psr
+        self.elr = return_pc & MASK32
+        # Kernel mode, IRQs masked, condition flags preserved.
+        self.psr = (self.psr & PSR_FLAGS_MASK) | PSR_MODE_KERNEL
+        self.pc = (vbar + 4 * int(vector)) & MASK32
+        self.waiting = False
+
+    def exception_return(self):
+        """SRET: restore PSR from SPSR and jump to ELR."""
+        self.psr = self.spsr
+        self.pc = self.elr & MASK32
+
+    # -- snapshots ------------------------------------------------------------
+    def snapshot(self):
+        """Architectural state tuple for differential comparison."""
+        return (tuple(self.regs), self.pc, self.psr, self.elr, self.spsr, self.halt_code)
+
+    def reset(self, entry=0):
+        for i in range(NUM_REGS):
+            self.regs[i] = 0
+        self.pc = entry & MASK32
+        self.psr = PSR_MODE_KERNEL
+        self.elr = 0
+        self.spsr = 0
+        self.halted = False
+        self.halt_code = 0
+        self.waiting = False
+
+    def __repr__(self):
+        return "CPUState(pc=0x%08x, mode=%s, halted=%r)" % (
+            self.pc,
+            self.mode.name,
+            self.halted,
+        )

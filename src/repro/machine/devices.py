@@ -1,0 +1,263 @@
+"""Memory-mapped devices for the simulated platforms.
+
+Register maps are word-granular offsets from the device base.  All
+devices count their accesses, so the I/O benchmarks' operation density
+can be computed from real event counts.
+"""
+
+from repro.errors import MachineError
+
+
+class Device:
+    """Base class for memory-mapped devices."""
+
+    name = "device"
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, offset, size):
+        self.reads += 1
+        return self.read_reg(offset)
+
+    def write(self, offset, value, size):
+        self.writes += 1
+        self.write_reg(offset, value)
+
+    def read_reg(self, offset):
+        raise MachineError("%s: read of unimplemented register 0x%x" % (self.name, offset))
+
+    def write_reg(self, offset, value):
+        raise MachineError("%s: write of unimplemented register 0x%x" % (self.name, offset))
+
+    def reset(self):
+        self.reads = 0
+        self.writes = 0
+
+
+class Uart(Device):
+    """A transmit-only serial port.
+
+    =======  =====================================
+    offset   register
+    =======  =====================================
+    0x00     DATA  (write: emit byte; read: 0)
+    0x04     STATUS (read: 1 = TX ready, always)
+    =======  =====================================
+    """
+
+    name = "uart"
+
+    def __init__(self):
+        super().__init__()
+        self.output = bytearray()
+
+    def read_reg(self, offset):
+        if offset == 0x00:
+            return 0
+        if offset == 0x04:
+            return 1
+        return super().read_reg(offset)
+
+    def write_reg(self, offset, value):
+        if offset == 0x00:
+            self.output.append(value & 0xFF)
+            return
+        super().write_reg(offset, value)
+
+    @property
+    def text(self):
+        return self.output.decode("latin-1")
+
+    def reset(self):
+        super().reset()
+        self.output = bytearray()
+
+
+class TestControlDevice(Device):
+    """The harness's hook into the guest.
+
+    The benchmark protocol writes a phase number to PHASE at each phase
+    boundary; the harness registers an ``on_phase(phase_id)`` callback
+    to snapshot timing and counters.  ITERATIONS is set host-side before
+    the run and read by the guest kernel loop.
+
+    =======  ==================================================
+    offset   register
+    =======  ==================================================
+    0x00     PHASE      (write: phase marker -> callback)
+    0x04     ITERATIONS (read: harness-configured count)
+    0x08     SCRATCH    (rw)
+    =======  ==================================================
+    """
+
+    name = "testctl"
+
+    def __init__(self):
+        super().__init__()
+        self.iterations = 1
+        self.scratch = 0
+        self.phases_seen = []
+        self.on_phase = None
+
+    def read_reg(self, offset):
+        if offset == 0x00:
+            return self.phases_seen[-1] if self.phases_seen else 0
+        if offset == 0x04:
+            return self.iterations
+        if offset == 0x08:
+            return self.scratch
+        return super().read_reg(offset)
+
+    def write_reg(self, offset, value):
+        if offset == 0x00:
+            self.phases_seen.append(value)
+            if self.on_phase is not None:
+                self.on_phase(value)
+            return
+        if offset == 0x08:
+            self.scratch = value
+            return
+        super().write_reg(offset, value)
+
+    def reset(self):
+        super().reset()
+        self.scratch = 0
+        self.phases_seen = []
+
+
+class SafeDevice(Device):
+    """The side-effect-free test device of the I/O benchmarks.
+
+    Reading ID returns a constant; writing LED stores the value.
+    Neither access has any behavioural side effect -- the benchmark
+    measures the *base cost* of an I/O access, as the paper prescribes.
+
+    =======  =====================================
+    offset   register
+    =======  =====================================
+    0x00     ID   (read-only constant)
+    0x04     LED  (rw)
+    0x08     SCRATCH (rw)
+    =======  =====================================
+    """
+
+    name = "safedev"
+    ID_VALUE = 0x51B0_1234
+
+    def __init__(self):
+        super().__init__()
+        self.led = 0
+        self.scratch = 0
+
+    def read_reg(self, offset):
+        if offset == 0x00:
+            return self.ID_VALUE
+        if offset == 0x04:
+            return self.led
+        if offset == 0x08:
+            return self.scratch
+        return super().read_reg(offset)
+
+    def write_reg(self, offset, value):
+        if offset == 0x04:
+            self.led = value
+            return
+        if offset == 0x08:
+            self.scratch = value
+            return
+        super().write_reg(offset, value)
+
+
+class TimerDevice(Device):
+    """A free-running counter driven by retired instructions.
+
+    =======  =====================================
+    offset   register
+    =======  =====================================
+    0x00     COUNT (read: current tick count)
+    0x04     CTRL  (rw; bit0 enables the counter)
+    =======  =====================================
+
+    The tick source is a callable supplied by the engine (usually its
+    retired-instruction counter), so "time" advances deterministically.
+    """
+
+    name = "timer"
+
+    def __init__(self):
+        super().__init__()
+        self.tick_source = None
+        self.ctrl = 1
+
+    def read_reg(self, offset):
+        if offset == 0x00:
+            if not (self.ctrl & 1) or self.tick_source is None:
+                return 0
+            return self.tick_source() & 0xFFFFFFFF
+        if offset == 0x04:
+            return self.ctrl
+        return super().read_reg(offset)
+
+    def write_reg(self, offset, value):
+        if offset == 0x04:
+            self.ctrl = value
+            return
+        super().write_reg(offset, value)
+
+
+class InterruptController(Device):
+    """A minimal interrupt controller with software-triggered lines.
+
+    =======  ==========================================================
+    offset   register
+    =======  ==========================================================
+    0x00     PENDING  (read: pending line bitmap)
+    0x04     ENABLE   (rw: enabled line bitmap)
+    0x08     TRIGGER  (write: raise the lines in the value -- this is
+                       the 'external software interrupt' mechanism)
+    0x0C     ACK      (write: clear the lines in the value)
+    =======  ==========================================================
+    """
+
+    name = "intc"
+
+    def __init__(self):
+        super().__init__()
+        self.pending = 0
+        self.enable = 0
+        self.triggers = 0
+        self.acks = 0
+
+    def read_reg(self, offset):
+        if offset == 0x00:
+            return self.pending
+        if offset == 0x04:
+            return self.enable
+        return super().read_reg(offset)
+
+    def write_reg(self, offset, value):
+        if offset == 0x04:
+            self.enable = value
+            return
+        if offset == 0x08:
+            self.pending |= value
+            self.triggers += 1
+            return
+        if offset == 0x0C:
+            self.pending &= ~value
+            self.acks += 1
+            return
+        super().write_reg(offset, value)
+
+    def irq_asserted(self):
+        """True when any enabled line is pending."""
+        return bool(self.pending & self.enable)
+
+    def reset(self):
+        super().reset()
+        self.pending = 0
+        self.enable = 0
+        self.triggers = 0
+        self.acks = 0

@@ -1,0 +1,37 @@
+"""Platform support packages.
+
+A platform package plays the role of the paper's ~200-line C platform
+libraries: it describes the memory layout, where the devices live, and
+how platform-specific operations (such as triggering an external
+software interrupt) are performed.  Benchmarks never hard-code
+addresses; they go through the platform description.
+"""
+
+from repro.platform.base import PlatformDescription, MemoryLayout
+from repro.platform.vexpress import VEXPRESS
+from repro.platform.pcplat import PCPLAT
+
+PLATFORMS = {
+    VEXPRESS.name: VEXPRESS,
+    PCPLAT.name: PCPLAT,
+}
+
+
+def get_platform(name):
+    """Look up a registered platform by name."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown platform %r (available: %s)" % (name, ", ".join(sorted(PLATFORMS)))
+        )
+
+
+__all__ = [
+    "PlatformDescription",
+    "MemoryLayout",
+    "VEXPRESS",
+    "PCPLAT",
+    "PLATFORMS",
+    "get_platform",
+]

@@ -1,0 +1,121 @@
+"""Base definitions for platform support packages."""
+
+from repro.errors import MachineError
+
+
+class MemoryLayout:
+    """Standard RAM layout used by the benchmark runtime.
+
+    All addresses are physical (the benchmarks identity-map them).
+
+    ============== ============================================
+    region          purpose
+    ============== ============================================
+    vector_base     exception vector table (6 branch slots)
+    code_base       program text / entry point
+    stack_top       initial stack pointer (grows down)
+    l1_table        level-1 page table (16 KiB)
+    l2_pool         pool for level-2 tables
+    data_base       benchmark scratch data
+    cold_base       large region for the cold-access benchmark
+    unmapped_vaddr  virtual address guaranteed never mapped
+    ============== ============================================
+    """
+
+    def __init__(
+        self,
+        ram_base,
+        ram_size,
+        vector_base,
+        code_base,
+        stack_top,
+        l1_table,
+        l2_pool,
+        data_base,
+        cold_base,
+        unmapped_vaddr,
+    ):
+        self.ram_base = ram_base
+        self.ram_size = ram_size
+        self.vector_base = vector_base
+        self.code_base = code_base
+        self.stack_top = stack_top
+        self.l1_table = l1_table
+        self.l2_pool = l2_pool
+        self.data_base = data_base
+        self.cold_base = cold_base
+        self.unmapped_vaddr = unmapped_vaddr
+        self._validate()
+
+    def _validate(self):
+        ram_end = self.ram_base + self.ram_size
+        for name in ("vector_base", "code_base", "stack_top", "l1_table", "l2_pool", "data_base", "cold_base"):
+            addr = getattr(self, name)
+            if not self.ram_base <= addr <= ram_end:
+                raise MachineError("%s (0x%08x) outside RAM" % (name, addr))
+        if self.l1_table % 0x4000:
+            raise MachineError("l1_table must be 16 KiB aligned")
+        if self.ram_base <= self.unmapped_vaddr < ram_end:
+            # It may be in RAM physically; what matters is the runtime
+            # never maps it.  Keep it well clear anyway.
+            raise MachineError("unmapped_vaddr should be outside RAM")
+
+
+class PlatformDescription:
+    """Everything a benchmark needs to know about a platform.
+
+    ``swirq_line`` is the interrupt-controller line used for the
+    external-software-interrupt benchmark.
+    """
+
+    def __init__(
+        self,
+        name,
+        layout,
+        uart_base,
+        testctl_base,
+        safedev_base,
+        timer_base,
+        intc_base,
+        swirq_line=0,
+        description="",
+    ):
+        self.name = name
+        self.layout = layout
+        self.uart_base = uart_base
+        self.testctl_base = testctl_base
+        self.safedev_base = safedev_base
+        self.timer_base = timer_base
+        self.intc_base = intc_base
+        self.swirq_line = swirq_line
+        self.description = description
+        bases = [uart_base, testctl_base, safedev_base, timer_base, intc_base]
+        if len(set(b >> 12 for b in bases)) != len(bases):
+            raise MachineError("device windows must live on distinct pages")
+
+    # convenience accessors used all over the benchmark builders
+    @property
+    def ram_base(self):
+        return self.layout.ram_base
+
+    @property
+    def ram_size(self):
+        return self.layout.ram_size
+
+    @property
+    def device_region(self):
+        """(base, size) of a 1 MiB-aligned region covering every device."""
+        bases = [
+            self.uart_base,
+            self.testctl_base,
+            self.safedev_base,
+            self.timer_base,
+            self.intc_base,
+        ]
+        lo = min(bases) & 0xFFF00000
+        hi = max(bases) + 0x1000
+        size = ((hi - lo) + 0xFFFFF) & ~0xFFFFF
+        return lo, size
+
+    def __repr__(self):
+        return "PlatformDescription(%r)" % self.name

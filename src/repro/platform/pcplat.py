@@ -1,0 +1,39 @@
+"""The 'pcplat' platform: the x86-profile reference board.
+
+Loosely modelled on a PC-style machine: RAM at physical zero, devices in
+a low MMIO hole at 0xE010_0000, and a different interrupt line for the
+software-interrupt benchmark.  The distinct memory map demonstrates that
+benchmarks are fully retargeted by swapping the platform package.
+"""
+
+from repro.platform.base import MemoryLayout, PlatformDescription
+
+_MB = 1 << 20
+
+_LAYOUT = MemoryLayout(
+    ram_base=0x0000_0000,
+    ram_size=64 * _MB,
+    vector_base=0x0000_5000,
+    code_base=0x0001_0000,
+    stack_top=0x000F_0000,
+    l1_table=0x0104_0000,
+    l2_pool=0x0105_0000,
+    data_base=0x0220_0000,
+    cold_base=0x02A0_0000,
+    unmapped_vaddr=0x3000_0000,
+)
+
+PCPLAT = PlatformDescription(
+    name="pcplat",
+    layout=_LAYOUT,
+    uart_base=0xE010_0000,
+    testctl_base=0xE010_1000,
+    safedev_base=0xE010_2000,
+    timer_base=0xE010_3000,
+    intc_base=0xE010_4000,
+    swirq_line=3,
+    description=(
+        "x86-profile reference board: 64 MiB RAM at 0x0, MMIO hole at "
+        "0xE0100000 (modelled on a PC chipset)"
+    ),
+)

@@ -1,0 +1,37 @@
+"""The 'vexpress' platform: the ARM-profile reference board.
+
+Loosely modelled on ARM Versatile Express-style boards: RAM at physical
+zero, devices high in the address map at 0xF000_0000.
+"""
+
+from repro.platform.base import MemoryLayout, PlatformDescription
+
+_MB = 1 << 20
+
+_LAYOUT = MemoryLayout(
+    ram_base=0x0000_0000,
+    ram_size=64 * _MB,
+    vector_base=0x0000_4000,
+    code_base=0x0000_8000,
+    stack_top=0x0010_0000,
+    l1_table=0x0100_0000,
+    l2_pool=0x0101_0000,
+    data_base=0x0200_0000,
+    cold_base=0x0280_0000,
+    unmapped_vaddr=0x2000_0000,
+)
+
+VEXPRESS = PlatformDescription(
+    name="vexpress",
+    layout=_LAYOUT,
+    uart_base=0xF000_0000,
+    testctl_base=0xF000_1000,
+    safedev_base=0xF000_2000,
+    timer_base=0xF000_3000,
+    intc_base=0xF000_4000,
+    swirq_line=0,
+    description=(
+        "ARM-profile reference board: 64 MiB RAM at 0x0, memory-mapped "
+        "peripherals at 0xF0000000 (modelled on Versatile Express)"
+    ),
+)

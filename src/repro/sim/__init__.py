@@ -1,0 +1,71 @@
+"""Full-system simulators for the SRV32 guest.
+
+Five execution models mirror the paper's evaluated platforms
+(Figure 4):
+
+=================  ==================  =====================================
+class              paper counterpart   execution model
+=================  ==================  =====================================
+DBTSimulator       QEMU (DBT)          dynamic binary translation to Python
+                                       closures, block chaining, softmmu
+FastInterpreter    SimIt-ARM           fast interpreter, decode cache,
+                                       single-level page cache
+DetailedInterpreter Gem5 (atomic)      detailed interpreter, micro-ops,
+                                       event ticks, modelled TLB
+VirtSimulator      QEMU-KVM            direct execution model with trapped
+                                       device/system operations (vm-exits)
+NativeMachine      bare hardware       direct execution cost model
+=================  ==================  =====================================
+"""
+
+from repro.sim.base import (
+    Counters,
+    CostModel,
+    ExitReason,
+    RunResult,
+    Simulator,
+)
+from repro.sim.interp import FastInterpreter
+from repro.sim.detailed import DetailedInterpreter
+from repro.sim.dbt import DBTSimulator
+from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
+from repro.sim.virt import VirtSimulator
+from repro.sim.native import NativeMachine
+
+SIMULATOR_CLASSES = {
+    "qemu-dbt": DBTSimulator,
+    "simit": FastInterpreter,
+    "gem5": DetailedInterpreter,
+    "qemu-kvm": VirtSimulator,
+    "native": NativeMachine,
+}
+
+
+def create_simulator(kind, board, arch, **kwargs):
+    """Instantiate a simulator by its registry name."""
+    try:
+        cls = SIMULATOR_CLASSES[kind]
+    except KeyError:
+        raise KeyError(
+            "unknown simulator %r (available: %s)"
+            % (kind, ", ".join(sorted(SIMULATOR_CLASSES)))
+        )
+    return cls(board, arch=arch, **kwargs)
+
+
+__all__ = [
+    "Counters",
+    "CostModel",
+    "ExitReason",
+    "RunResult",
+    "Simulator",
+    "FastInterpreter",
+    "DetailedInterpreter",
+    "DBTSimulator",
+    "VirtSimulator",
+    "NativeMachine",
+    "QEMU_VERSIONS",
+    "dbt_config_for_version",
+    "SIMULATOR_CLASSES",
+    "create_simulator",
+]

@@ -1,0 +1,281 @@
+"""Per-engine cost tables for the MODELED timing policy.
+
+Each table maps dynamic event counters (see
+:data:`repro.sim.base.COUNTER_NAMES`) to a per-event host cost in
+nanoseconds.  The event *counts* always come from real execution of the
+guest program on the engine; the tables only convert them into modeled
+host seconds, so every reproduced figure's shape is driven by genuine
+structural behaviour (how many translations, TLB misses, traps, ...
+actually happened).
+
+Magnitudes are calibrated against the paper's Figure 7 so that the
+cross-engine ratios land in the right regime:
+
+- The DBT engine executes translated code cheaply but pays for
+  translation, dispatch and side exits.
+- The fast interpreter pays a moderate per-instruction cost and almost
+  nothing for "code generation" (it has none).
+- The detailed interpreter pays a large per-instruction and per-event
+  cost (micro-ops, tick events, modelled TLB).
+- The virtualization model executes at near-native speed but pays
+  microseconds per trapped operation (vm-exits), with the trap set and
+  prices depending on the architecture profile, reproducing the
+  ARM/x86 asymmetries of the paper (e.g. undefined instructions are a
+  cheap guest-side trap on ARM but an expensive hypercall on x86).
+- Native hardware is cheap everywhere except architecture quirks (the
+  x86 math-coprocessor reset is notoriously slow).
+"""
+
+from repro.sim.base import CostModel
+
+# ---------------------------------------------------------------------------
+# QEMU-like DBT engine
+# ---------------------------------------------------------------------------
+
+DBT_BASE_COSTS = {
+    # translated code execution
+    "instructions": 3.0,
+    "block_executions": 8.0,
+    "slow_dispatches": 60.0,
+    "chain_follows": 4.0,
+    # code generation
+    "translations": 2500.0,
+    "translated_insns": 300.0,
+    "smc_invalidations": 3500.0,
+    # memory system (softmmu)
+    "loads": 14.0,
+    "stores": 16.0,
+    "tlb_misses": 700.0,
+    "ptw_levels": 300.0,
+    "tlb_flushes": 3500.0,
+    "tlb_invalidations": 3800.0,
+    "context_switches": 600.0,
+    # exceptions: side exits from translated code (data aborts carry
+    # the full fault-path cost: walk replay, unwind, state sync)
+    "data_aborts": 4000.0,
+    "prefetch_aborts": 1500.0,
+    "undefs": 1100.0,
+    "syscalls": 1000.0,
+    "irqs": 1300.0,
+    "exception_returns": 400.0,
+    # I/O: helper calls out of translated code
+    "mmio_reads": 180.0,
+    "mmio_writes": 180.0,
+    "coproc_reads": 120.0,
+    "coproc_writes": 130.0,
+    "nonpriv_accesses": 25.0,
+}
+
+# ---------------------------------------------------------------------------
+# SimIt-ARM-like fast interpreter
+# ---------------------------------------------------------------------------
+
+INTERP_COSTS = {
+    "instructions": 40.0,
+    "decode_misses": 150.0,
+    "branches_direct_intra": 10.0,
+    "branches_direct_inter": 12.0,
+    "branches_indirect_intra": 12.0,
+    "branches_indirect_inter": 14.0,
+    "loads": 30.0,
+    "stores": 32.0,
+    "tlb_misses": 220.0,
+    "ptw_levels": 150.0,
+    "tlb_flushes": 120.0,
+    "tlb_invalidations": 150.0,
+    "context_switches": 90.0,
+    "data_aborts": 420.0,
+    "prefetch_aborts": 450.0,
+    "undefs": 350.0,
+    "syscalls": 380.0,
+    "irqs": 1400.0,
+    "exception_returns": 150.0,
+    "mmio_reads": 240.0,
+    "mmio_writes": 240.0,
+    "coproc_reads": 35.0,
+    "coproc_writes": 40.0,
+    "nonpriv_accesses": 320.0,
+    "smc_invalidations": 250.0,
+}
+
+# ---------------------------------------------------------------------------
+# Gem5-like detailed interpreter
+# ---------------------------------------------------------------------------
+
+DETAILED_COSTS = {
+    "instructions": 1200.0,
+    "micro_ops": 180.0,
+    "tick_events": 120.0,
+    "decode_misses": 0.0,  # decodes are part of the per-instruction price
+    "branches_direct_intra": 150.0,
+    "branches_direct_inter": 180.0,
+    "branches_indirect_intra": 170.0,
+    "branches_indirect_inter": 200.0,
+    "loads": 900.0,
+    "stores": 950.0,
+    "tlb_misses": 2500.0,
+    "ptw_levels": 1200.0,
+    "tlb_flushes": 2000.0,
+    "tlb_invalidations": 900.0,
+    "context_switches": 2500.0,
+    "data_aborts": 5200.0,
+    "prefetch_aborts": 5600.0,
+    "undefs": 4800.0,
+    "syscalls": 5400.0,
+    "irqs": 6000.0,
+    "exception_returns": 2000.0,
+    "mmio_reads": 1500.0,
+    "mmio_writes": 1500.0,
+    "coproc_reads": 1700.0,
+    "coproc_writes": 1800.0,
+    "nonpriv_accesses": 1100.0,
+    "smc_invalidations": 400.0,
+}
+
+# ---------------------------------------------------------------------------
+# QEMU-KVM-like virtualization model (per architecture profile)
+# ---------------------------------------------------------------------------
+
+VIRT_COSTS_ARM = {
+    "instructions": 1.0,
+    # Control flow under the unstable ARM KVM of the paper's setup is
+    # disproportionately expensive (Section III-B.2).
+    "branches_direct_intra": 600.0,
+    "branches_direct_inter": 900.0,
+    "branches_indirect_intra": 700.0,
+    "branches_indirect_inter": 1000.0,
+    "loads": 8.0,
+    "stores": 9.0,
+    "tlb_misses": 120.0,
+    "ptw_levels": 40.0,
+    "tlb_flushes": 900.0,
+    "tlb_invalidations": 250.0,
+    "context_switches": 300.0,
+    # Guest-handled exceptions are near-native.
+    "data_aborts": 240.0,
+    "prefetch_aborts": 280.0,
+    "undefs": 60.0,
+    "syscalls": 70.0,
+    "exception_returns": 30.0,
+    # Trapped operations: vm-exit into the emulation layer.
+    "irqs": 140000.0,
+    "mmio_reads": 11000.0,
+    "mmio_writes": 11000.0,
+    "coproc_reads": 380.0,
+    "coproc_writes": 420.0,
+    "nonpriv_accesses": 12.0,
+    "smc_invalidations": 20.0,
+}
+
+VIRT_COSTS_X86 = {
+    "instructions": 1.0,
+    "branches_direct_intra": 3.0,
+    "branches_direct_inter": 5.0,
+    "branches_indirect_intra": 4.0,
+    "branches_indirect_inter": 6.0,
+    "loads": 6.0,
+    "stores": 7.0,
+    "tlb_misses": 80.0,
+    "ptw_levels": 40.0,
+    "tlb_flushes": 450.0,
+    "tlb_invalidations": 200.0,
+    "context_switches": 250.0,
+    "data_aborts": 260.0,
+    "prefetch_aborts": 300.0,
+    # Undefined instructions are reflected as hypercalls on x86 KVM.
+    "undefs": 1100.0,
+    "syscalls": 160.0,
+    "exception_returns": 40.0,
+    "irqs": 5600.0,
+    "mmio_reads": 790.0,
+    "mmio_writes": 790.0,
+    "coproc_reads": 1600.0,
+    "coproc_writes": 1750.0,
+    "nonpriv_accesses": 6.0,
+    "smc_invalidations": 20.0,
+}
+
+# ---------------------------------------------------------------------------
+# Native hardware (per architecture profile)
+# ---------------------------------------------------------------------------
+
+NATIVE_COSTS_ARM = {
+    "instructions": 0.5,
+    "branches_direct_intra": 80.0,
+    "branches_direct_inter": 290.0,
+    "branches_indirect_intra": 140.0,
+    "branches_indirect_inter": 550.0,
+    "loads": 25.0,
+    "stores": 28.0,
+    "tlb_misses": 110.0,
+    "ptw_levels": 40.0,
+    "tlb_flushes": 700.0,
+    "tlb_invalidations": 250.0,
+    "context_switches": 120.0,
+    "data_aborts": 240.0,
+    "prefetch_aborts": 330.0,
+    "undefs": 130.0,
+    "syscalls": 135.0,
+    "irqs": 1000.0,
+    "exception_returns": 60.0,
+    "mmio_reads": 40.0,
+    "mmio_writes": 40.0,
+    "coproc_reads": 22.0,
+    "coproc_writes": 26.0,
+    "nonpriv_accesses": 3.0,
+    "smc_invalidations": 30.0,
+}
+
+NATIVE_COSTS_X86 = {
+    "instructions": 0.3,
+    "branches_direct_intra": 4.0,
+    "branches_direct_inter": 9.0,
+    "branches_indirect_intra": 5.0,
+    "branches_indirect_inter": 10.0,
+    "loads": 4.0,
+    "stores": 5.0,
+    "tlb_misses": 30.0,
+    "ptw_levels": 15.0,
+    "tlb_flushes": 140.0,
+    "tlb_invalidations": 140.0,
+    "context_switches": 60.0,
+    "data_aborts": 250.0,
+    "prefetch_aborts": 280.0,
+    "undefs": 170.0,
+    "syscalls": 155.0,
+    "irqs": 330.0,
+    "exception_returns": 60.0,
+    "mmio_reads": 1.0,
+    "mmio_writes": 1.0,
+    # FNINIT-style coprocessor resets are notoriously slow on x86.
+    "coproc_reads": 90.0,
+    "coproc_writes": 1950.0,
+    "nonpriv_accesses": 0.0,
+    "smc_invalidations": 10.0,
+}
+
+_VIRT = {"arm": VIRT_COSTS_ARM, "x86": VIRT_COSTS_X86}
+_NATIVE = {"arm": NATIVE_COSTS_ARM, "x86": NATIVE_COSTS_X86}
+
+
+def interp_cost_model():
+    return CostModel(INTERP_COSTS, name="simit")
+
+
+def detailed_cost_model():
+    return CostModel(DETAILED_COSTS, name="gem5")
+
+
+def dbt_cost_model(overrides=None):
+    costs = dict(DBT_BASE_COSTS)
+    if overrides:
+        costs.update(overrides)
+    return CostModel(costs, name="qemu-dbt")
+
+
+def virt_cost_model(arch_name):
+    return CostModel(_VIRT[arch_name], name="qemu-kvm/%s" % arch_name)
+
+
+def native_cost_model(arch_name):
+    return CostModel(_NATIVE[arch_name], name="native/%s" % arch_name)

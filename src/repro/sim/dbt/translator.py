@@ -1,0 +1,329 @@
+"""The translator: guest basic blocks -> compiled Python functions.
+
+This is the reproduction's "TCG": each guest basic block is decoded
+once, lowered to Python source, and compiled with :func:`compile`.
+Executing a block therefore runs host (CPython) bytecode -- genuinely
+fast compared to interpretation -- while translation itself genuinely
+costs time, which is exactly the trade-off the Code Generation
+benchmarks probe.
+
+Generated blocks follow the contract documented on
+:class:`~repro.sim.dbt.blockcache.TranslatedBlock`.
+"""
+
+from repro.errors import DecodeError
+from repro.isa.decoder import decode
+from repro.isa.encoding import BLOCK_END_OPS, Op
+from repro.sim.dbt.blockcache import TranslatedBlock
+
+MASK = "4294967295"
+PAGE_SHIFT = 12
+
+
+class Translator:
+    """Translates basic blocks under a given :class:`DBTConfig`."""
+
+    def __init__(self, config):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def translate(self, memory, vaddr, paddr):
+        """Translate the block starting at ``vaddr`` (physical
+        ``paddr``) and return a :class:`TranslatedBlock`."""
+        insns = self._decode_block(memory, paddr)
+        source = self._generate(insns, vaddr)
+        namespace = {}
+        code = compile(source, "<dbt block 0x%08x>" % vaddr, "exec")
+        exec(code, namespace)
+        block = TranslatedBlock(vaddr, paddr, len(insns), fn=None, source=source)
+        block.fn = namespace["make"](block)
+        return block
+
+    def _decode_block(self, memory, paddr):
+        """Decode instructions until a block-ending op, the page end, or
+        the configured length limit.  Undecodable words terminate the
+        block with an UNDEF terminal (handled in codegen via op=None)."""
+        insns = []
+        addr = paddr
+        page_end = (paddr | ((1 << PAGE_SHIFT) - 1)) + 1
+        max_insns = self.config.max_block_insns
+        while addr < page_end and len(insns) < max_insns:
+            word = memory.read32(addr)
+            try:
+                insn = decode(word)
+            except DecodeError:
+                insns.append(None)  # undefined encoding terminal
+                break
+            insns.append(insn)
+            if insn.op in BLOCK_END_OPS:
+                break
+            addr += 4
+        return insns
+
+    # ------------------------------------------------------------------
+    # Code generation
+    # ------------------------------------------------------------------
+    def _generate(self, insns, vaddr):
+        lines = [
+            "def make(blk):",
+            "    def block(s):",
+            "        cpu = s.cpu",
+            "        r = cpu.regs",
+            "        c = s.counters",
+        ]
+        body = []
+        n = len(insns)
+        terminal_emitted = False
+        # Instructions are accounted incrementally: before every helper
+        # call that might fault or touch a device (so counters are exact
+        # at side exits and at device-observed snapshot points), and the
+        # remainder at the terminal.
+        self._accounted = 0
+        for idx, insn in enumerate(insns):
+            pc = vaddr + 4 * idx
+            if insn is None:
+                self._emit_undef_terminal(body, pc, idx)
+                terminal_emitted = True
+                break
+            if insn.op in BLOCK_END_OPS:
+                self._emit_terminal(body, insn, pc, idx, n)
+                terminal_emitted = True
+                break
+            self._emit_insn(body, insn, pc, idx)
+        if not terminal_emitted:
+            # Fall off the end of the block (length/page limit).
+            next_pc = vaddr + 4 * n
+            self._emit_account(body, n)
+            body.append("cpu.pc = %d" % next_pc)
+            self._emit_chain_exit(body, vaddr + 4 * (n - 1), next_pc, slot=0)
+        if not body:
+            body.append("pass")
+        lines.extend("        " + line for line in body)
+        lines.append("    return block")
+        return "\n".join(lines) + "\n"
+
+    def _emit_account(self, body, through):
+        """Emit 'instructions += k' covering insns up to index ``through``
+        (exclusive count), relative to what is already accounted."""
+        pending = through - self._accounted
+        if pending > 0:
+            body.append("c.instructions += %d" % pending)
+            self._accounted = through
+
+    # -- straight-line instructions --------------------------------------
+    def _emit_insn(self, body, insn, pc, idx):
+        op = insn.op
+        rd, rn, rm, imm = insn.rd, insn.rn, insn.rm, insn.imm
+        if op == Op.NOP:
+            return
+        if op == Op.ADD:
+            body.append("r[%d] = (r[%d] + r[%d]) & %s" % (rd, rn, rm, MASK))
+        elif op == Op.SUB:
+            body.append("r[%d] = (r[%d] - r[%d]) & %s" % (rd, rn, rm, MASK))
+        elif op == Op.AND:
+            body.append("r[%d] = r[%d] & r[%d]" % (rd, rn, rm))
+        elif op == Op.ORR:
+            body.append("r[%d] = r[%d] | r[%d]" % (rd, rn, rm))
+        elif op == Op.EOR:
+            body.append("r[%d] = r[%d] ^ r[%d]" % (rd, rn, rm))
+        elif op == Op.LSL:
+            body.append("r[%d] = (r[%d] << (r[%d] & 31)) & %s" % (rd, rn, rm, MASK))
+        elif op == Op.LSR:
+            body.append("r[%d] = r[%d] >> (r[%d] & 31)" % (rd, rn, rm))
+        elif op == Op.ASR:
+            body.append("_t = r[%d]" % rn)
+            body.append("if _t & 2147483648: _t -= 4294967296")
+            body.append("r[%d] = (_t >> (r[%d] & 31)) & %s" % (rd, rm, MASK))
+        elif op == Op.MUL:
+            body.append("r[%d] = (r[%d] * r[%d]) & %s" % (rd, rn, rm, MASK))
+        elif op == Op.UDIV:
+            body.append("_d = r[%d]" % rm)
+            body.append("r[%d] = r[%d] // _d if _d else 0" % (rd, rn))
+        elif op == Op.UREM:
+            body.append("_d = r[%d]" % rm)
+            body.append("r[%d] = r[%d] %% _d if _d else 0" % (rd, rn))
+        elif op == Op.MOV:
+            body.append("r[%d] = r[%d]" % (rd, rm))
+        elif op == Op.MVN:
+            body.append("r[%d] = r[%d] ^ %s" % (rd, rm, MASK))
+        elif op == Op.CMP:
+            body.append("cpu.set_flags_sub(r[%d], r[%d])" % (rn, rm))
+        elif op == Op.ADDI:
+            body.append("r[%d] = (r[%d] + %d) & %s" % (rd, rn, imm, MASK))
+        elif op == Op.SUBI:
+            body.append("r[%d] = (r[%d] - %d) & %s" % (rd, rn, imm, MASK))
+        elif op == Op.ANDI:
+            body.append("r[%d] = r[%d] & %d" % (rd, rn, imm))
+        elif op == Op.ORRI:
+            body.append("r[%d] = r[%d] | %d" % (rd, rn, imm))
+        elif op == Op.EORI:
+            body.append("r[%d] = r[%d] ^ %d" % (rd, rn, imm))
+        elif op == Op.LSLI:
+            body.append("r[%d] = (r[%d] << %d) & %s" % (rd, rn, imm & 31, MASK))
+        elif op == Op.LSRI:
+            body.append("r[%d] = r[%d] >> %d" % (rd, rn, imm & 31))
+        elif op == Op.ASRI:
+            body.append("_t = r[%d]" % rn)
+            body.append("if _t & 2147483648: _t -= 4294967296")
+            body.append("r[%d] = (_t >> %d) & %s" % (rd, imm & 31, MASK))
+        elif op == Op.MULI:
+            body.append("r[%d] = (r[%d] * %d) & %s" % (rd, rn, imm, MASK))
+        elif op == Op.MOVI:
+            body.append("r[%d] = %d" % (rd, imm))
+        elif op == Op.MOVT:
+            body.append("r[%d] = (r[%d] & 65535) | %d" % (rd, rd, imm << 16))
+        elif op == Op.CMPI:
+            body.append("cpu.set_flags_sub(r[%d], %d)" % (rn, imm))
+        elif op == Op.LDR:
+            self._emit_account(body, idx + 1)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append("r[%d] = s.mem_read32((r[%d] + %d) & %s)" % (rd, rn, imm, MASK))
+        elif op == Op.STR:
+            self._emit_account(body, idx + 1)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append("s.mem_write32((r[%d] + %d) & %s, r[%d])" % (rn, imm, MASK, rd))
+        elif op == Op.LDRB:
+            self._emit_account(body, idx + 1)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append("r[%d] = s.mem_read8((r[%d] + %d) & %s)" % (rd, rn, imm, MASK))
+        elif op == Op.STRB:
+            self._emit_account(body, idx + 1)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append(
+                "s.mem_write8((r[%d] + %d) & %s, r[%d] & 255)" % (rn, imm, MASK, rd)
+            )
+        elif op == Op.LDRT:
+            self._emit_account(body, idx + 1)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append(
+                "r[%d] = s.mem_read32_user((r[%d] + %d) & %s)" % (rd, rn, imm, MASK)
+            )
+        elif op == Op.STRT:
+            self._emit_account(body, idx + 1)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append(
+                "s.mem_write32_user((r[%d] + %d) & %s, r[%d])" % (rn, imm, MASK, rd)
+            )
+        elif op == Op.MRC:
+            self._emit_account(body, idx + 1)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append("r[%d] = s.cop_read(%d, %d)" % (rd, rn, imm & 0xFF))
+        elif op == Op.MCR:
+            self._emit_account(body, idx + 1)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append("s.cop_write(%d, %d, r[%d])" % (rn, imm & 0xFF, rd))
+        elif op == Op.CPS:
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append("s.do_cps(%d)" % imm)
+        else:  # pragma: no cover - BLOCK_END ops handled elsewhere
+            raise AssertionError("unexpected op in straight-line emitter: %r" % op)
+
+    # -- terminals ---------------------------------------------------------
+    def _chainable(self, from_pc, to_pc):
+        if not self.config.chain_enabled:
+            return False
+        if (from_pc >> PAGE_SHIFT) == (to_pc >> PAGE_SHIFT):
+            return True
+        return self.config.chain_cross_page
+
+    def _emit_chain_exit(self, body, from_pc, target, slot):
+        """Emit the block exit for a statically-known target."""
+        attr = "succ_taken" if slot == 0 else "succ_not"
+        if self._chainable(from_pc, target):
+            body.append("nb = blk.%s" % attr)
+            body.append("if nb is not None and nb.valid:")
+            body.append("    c.chain_follows += 1")
+            body.append("    return nb")
+            body.append("blk.%s = None" % attr)
+            body.append("s.pending_chain = (blk, %d)" % slot)
+        body.append("return %d" % target)
+
+    def _branch_counter(self, from_pc, target, direct):
+        same = (from_pc >> PAGE_SHIFT) == (target >> PAGE_SHIFT)
+        if direct:
+            return "branches_direct_intra" if same else "branches_direct_inter"
+        return "branches_indirect_intra" if same else "branches_indirect_inter"
+
+    def _emit_terminal(self, body, insn, pc, idx, n):
+        op = insn.op
+        count = idx + 1
+        next_pc = pc + 4
+        if op in (Op.B, Op.BL):
+            target = (pc + 4 + 4 * insn.imm) & 0xFFFFFFFF
+            taken = []
+            if op == Op.BL:
+                taken.append("r[14] = %d" % next_pc)
+                taken.append("c.calls += 1")
+            taken.append("c.%s += 1" % self._branch_counter(pc, target, True))
+            taken.append("cpu.pc = %d" % target)
+            taken_exit = []
+            self._emit_chain_exit(taken_exit, pc, target, slot=0)
+            self._emit_account(body, count)
+            if insn.cond == 0:
+                body.extend(taken)
+                body.extend(taken_exit)
+                return
+            body.append("if cpu.condition_holds(%d):" % insn.cond)
+            for line in taken + taken_exit:
+                body.append("    " + line)
+            body.append("c.branches_not_taken += 1")
+            body.append("cpu.pc = %d" % next_pc)
+            self._emit_chain_exit(body, pc, next_pc, slot=1)
+            return
+        if op in (Op.BR, Op.BLR):
+            self._emit_account(body, count)
+            body.append("_t = r[%d]" % insn.rn)
+            if op == Op.BLR:
+                body.append("r[14] = %d" % next_pc)
+                body.append("c.calls += 1")
+            body.append("if (_t >> 12) == %d:" % (pc >> PAGE_SHIFT))
+            body.append("    c.branches_indirect_intra += 1")
+            body.append("else:")
+            body.append("    c.branches_indirect_inter += 1")
+            body.append("cpu.pc = _t")
+            body.append("return _t")
+            return
+        if op == Op.SWI:
+            self._emit_account(body, count)
+            body.append("c.syscalls += 1")
+            body.append("s.do_swi(%d)" % next_pc)
+            body.append("return None")
+            return
+        if op == Op.UND:
+            self._emit_undef_terminal(body, pc, idx)
+            return
+        if op == Op.SRET:
+            self._emit_account(body, count)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append("s.do_sret()")
+            body.append("return None")
+            return
+        if op == Op.HALT:
+            self._emit_account(body, count)
+            body.append("cpu.halted = True")
+            body.append("cpu.halt_code = %d" % insn.imm)
+            body.append("cpu.pc = %d" % next_pc)
+            body.append("return None")
+            return
+        if op == Op.WFI:
+            self._emit_account(body, count)
+            body.append("cpu.waiting = True")
+            body.append("cpu.pc = %d" % next_pc)
+            body.append("return None")
+            return
+        if op == Op.CPS:
+            # Mode/interrupt-mask changes take effect at the boundary;
+            # never chained, so the dispatcher re-checks state.
+            self._emit_account(body, count)
+            body.append("s.fault_state = (%d, %d)" % (pc, idx))
+            body.append("s.do_cps(%d)" % insn.imm)
+            body.append("cpu.pc = %d" % next_pc)
+            body.append("return %d" % next_pc)
+            return
+        raise AssertionError("unexpected terminal op: %r" % op)  # pragma: no cover
+
+    def _emit_undef_terminal(self, body, pc, idx):
+        self._emit_account(body, idx + 1)
+        body.append("c.undefs += 1")
+        body.append("s.do_undef(%d)" % (pc + 4))
+        body.append("return None")

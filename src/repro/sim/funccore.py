@@ -1,0 +1,643 @@
+"""The functional execution core shared by the interpreter-style engines.
+
+:class:`FunctionalCore` implements complete SRV32 semantics against a
+board: MMU translation through a pluggable data TLB, decode caching,
+exception and interrupt delivery, device access, and full event
+accounting.  The fast interpreter, the detailed interpreter and the
+direct-execution models all specialise it; the DBT engine has its own
+execution path but reuses the same delivery and translation rules.
+"""
+
+from repro.errors import DecodeError, UnsupportedFeatureError
+from repro.isa.decoder import decode
+from repro.isa.encoding import Op
+from repro.machine.coprocessor import UndefinedCoprocessorAccess
+from repro.machine.cpu import ExceptionVector, PSR_FLAGS_MASK, PSR_IRQ_ENABLE, PSR_MODE_KERNEL
+from repro.machine.mmu import AccessType, Fault, FaultType
+from repro.machine.tlb import SoftTLB
+from repro.sim.base import ExitReason, RunResult, Simulator
+
+MASK32 = 0xFFFFFFFF
+PAGE_SHIFT = 12
+
+
+class GuestUndef(Exception):
+    """Internal signal: the current instruction raises UNDEF."""
+
+
+class FunctionalCore(Simulator):
+    """Interpreter-style engine with pluggable caching structures.
+
+    Parameters
+    ----------
+    board:
+        The machine to execute.
+    arch:
+        Architecture profile (used for reporting only).
+    dtlb:
+        Data-TLB structure (``lookup``/``insert``/``flush``/...).  The
+        TLB maintenance coprocessor operations act on this structure.
+    itlb:
+        Instruction-TLB structure.
+    use_decode_cache:
+        Cache decoded instructions by physical address (invalidated on
+        stores into cached pages, i.e. self-modifying code is handled).
+    asid_tagged:
+        Model an ASID-tagged data TLB: address-space switches retag
+        instead of flushing.  Engines without tagging must flush the
+        data TLB on every ASID write to stay correct (the conservative
+        design the paper notes real simulators take).
+    """
+
+    name = "funccore"
+    execution_model = "interpreter"
+
+    def __init__(
+        self,
+        board,
+        arch=None,
+        dtlb=None,
+        itlb=None,
+        use_decode_cache=True,
+        asid_tagged=False,
+    ):
+        super().__init__(board, arch)
+        self.asid_tagged = asid_tagged
+        self._memory = board.memory
+        self._cp15 = board.cp15
+        self._cops = board.cops
+        self._intc = board.intc
+        self._walker = board.walker
+        self._dtlb = dtlb if dtlb is not None else SoftTLB(capacity=64)
+        self._itlb = itlb if itlb is not None else SoftTLB(capacity=32)
+        self._use_decode_cache = use_decode_cache
+        self._decode_map = {}
+        self._code_pages = set()
+        #: Pages that ever contained executed code (never pruned); used
+        #: to account ``code_writes`` -- the tested operation of the
+        #: Code Generation benchmarks.
+        self._exec_pages = set()
+        self._cp15.tlb_flush_hook = self._on_tlb_flush
+        self._cp15.tlb_invalidate_hook = self._on_tlb_invalidate
+        self._cp15.asid_hook = self._on_asid_write
+        self._dispatch = self._build_dispatch()
+
+    # ------------------------------------------------------------------
+    # TLB maintenance (driven by CP15 writes from guest code)
+    # ------------------------------------------------------------------
+    def _on_tlb_flush(self):
+        self.counters.tlb_flushes += 1
+        self._dtlb.flush()
+
+    def _on_tlb_invalidate(self, vaddr):
+        self.counters.tlb_invalidations += 1
+        self._dtlb.invalidate(vaddr)
+
+    def _on_asid_write(self, asid):
+        """Address-space switch: retag if the TLB supports ASIDs,
+        otherwise flush conservatively."""
+        self.counters.context_switches += 1
+        if self.asid_tagged and hasattr(self._dtlb, "current_asid"):
+            self._dtlb.current_asid = asid
+        else:
+            self._dtlb.flush()
+
+    # ------------------------------------------------------------------
+    # Address translation
+    # ------------------------------------------------------------------
+    def _translate_data(self, vaddr, access, kernel):
+        cp15 = self._cp15
+        if not cp15.sctlr & 1:
+            return vaddr
+        entry = self._dtlb.lookup(vaddr)
+        if entry is not None:
+            self.counters.tlb_hits += 1
+            if not entry.allows(access, kernel):
+                raise Fault(FaultType.PERMISSION, vaddr, access)
+            return entry.ppage | (vaddr & 0xFFF)
+        self.counters.tlb_misses += 1
+        result = self._walker.walk(cp15.ttbr, vaddr, access, kernel)
+        self.counters.ptw_levels += result.levels
+        entry = result.narrow(vaddr)
+        before = self._dtlb.evictions
+        self._dtlb.insert(vaddr, entry)
+        if self._dtlb.evictions != before:
+            self.counters.tlb_evictions += 1
+        return entry.ppage | (vaddr & 0xFFF)
+
+    def _translate_fetch(self, vaddr):
+        cp15 = self._cp15
+        if not cp15.sctlr & 1:
+            return vaddr
+        entry = self._itlb.lookup(vaddr)
+        if entry is not None:
+            if not entry.allows(AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL):
+                raise Fault(FaultType.PERMISSION, vaddr, AccessType.EXECUTE)
+            return entry.ppage | (vaddr & 0xFFF)
+        result = self._walker.walk(
+            cp15.ttbr, vaddr, AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL
+        )
+        entry = result.narrow(vaddr)
+        self._itlb.insert(vaddr, entry)
+        return entry.ppage | (vaddr & 0xFFF)
+
+    # ------------------------------------------------------------------
+    # Memory access
+    # ------------------------------------------------------------------
+    def _device_access_allowed(self, device, offset, is_write):
+        """Hook for engines that do not implement certain devices."""
+        return True
+
+    def _mem_read(self, vaddr, size, kernel):
+        paddr = self._translate_data(vaddr, AccessType.READ, kernel)
+        memory = self._memory
+        region = memory.find_ram(paddr, size)
+        if region is not None:
+            off = paddr - region.base
+            return int.from_bytes(region.data[off : off + size], "little")
+        hit = memory.find_device(paddr)
+        if hit is None:
+            raise Fault(FaultType.BUS, vaddr, AccessType.READ)
+        base, _size, device = hit
+        if not self._device_access_allowed(device, paddr - base, False):
+            raise UnsupportedFeatureError(self.name, device.name)
+        self.counters.mmio_reads += 1
+        return device.read(paddr - base, size) & ((1 << (8 * size)) - 1)
+
+    def _mem_write(self, vaddr, value, size, kernel):
+        paddr = self._translate_data(vaddr, AccessType.WRITE, kernel)
+        memory = self._memory
+        region = memory.find_ram(paddr, size)
+        if region is not None:
+            off = paddr - region.base
+            region.data[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+                size, "little"
+            )
+            ppage = paddr >> PAGE_SHIFT
+            if ppage in self._exec_pages:
+                self.counters.code_writes += 1
+            if ppage in self._code_pages:
+                self._invalidate_code_page(ppage)
+            return
+        hit = memory.find_device(paddr)
+        if hit is None:
+            raise Fault(FaultType.BUS, vaddr, AccessType.WRITE)
+        base, _size, device = hit
+        if not self._device_access_allowed(device, paddr - base, True):
+            raise UnsupportedFeatureError(self.name, device.name)
+        self.counters.mmio_writes += 1
+        device.write(paddr - base, value & ((1 << (8 * size)) - 1), size)
+
+    def _invalidate_code_page(self, ppage):
+        """Self-modifying code: drop cached decodes for the page."""
+        self.counters.smc_invalidations += 1
+        base = ppage << PAGE_SHIFT
+        dmap = self._decode_map
+        for addr in range(base, base + (1 << PAGE_SHIFT), 4):
+            dmap.pop(addr, None)
+        self._code_pages.discard(ppage)
+
+    # ------------------------------------------------------------------
+    # Fetch and decode
+    # ------------------------------------------------------------------
+    def _fetch(self, pc):
+        paddr = self._translate_fetch(pc)
+        memory = self._memory
+        region = memory.find_ram(paddr, 4)
+        if region is None:
+            raise Fault(FaultType.BUS, pc, AccessType.EXECUTE)
+        off = paddr - region.base
+        word = int.from_bytes(region.data[off : off + 4], "little")
+        if not self._use_decode_cache:
+            self.counters.decode_misses += 1
+            self._exec_pages.add(paddr >> PAGE_SHIFT)
+            return decode(word)
+        entry = self._decode_map.get(paddr)
+        if entry is not None and entry[0] == word:
+            self.counters.decode_hits += 1
+            return entry[1]
+        self.counters.decode_misses += 1
+        insn = decode(word)
+        self._decode_map[paddr] = (word, insn)
+        self._code_pages.add(paddr >> PAGE_SHIFT)
+        self._exec_pages.add(paddr >> PAGE_SHIFT)
+        return insn
+
+    # ------------------------------------------------------------------
+    # Exception delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, vector, return_pc, fault=None):
+        if fault is not None:
+            self._cp15.record_fault(fault)
+        self.cpu.enter_exception(return_pc, self._cp15.vbar, vector)
+
+    def _require_kernel(self):
+        if not self.cpu.psr & PSR_MODE_KERNEL:
+            raise GuestUndef()
+
+    # ------------------------------------------------------------------
+    # Instruction execution
+    # ------------------------------------------------------------------
+    def _build_dispatch(self):
+        return {
+            Op.NOP: self._op_nop,
+            Op.ADD: self._op_add,
+            Op.SUB: self._op_sub,
+            Op.AND: self._op_and,
+            Op.ORR: self._op_orr,
+            Op.EOR: self._op_eor,
+            Op.LSL: self._op_lsl,
+            Op.LSR: self._op_lsr,
+            Op.ASR: self._op_asr,
+            Op.MUL: self._op_mul,
+            Op.UDIV: self._op_udiv,
+            Op.UREM: self._op_urem,
+            Op.MOV: self._op_mov,
+            Op.MVN: self._op_mvn,
+            Op.CMP: self._op_cmp,
+            Op.ADDI: self._op_addi,
+            Op.SUBI: self._op_subi,
+            Op.ANDI: self._op_andi,
+            Op.ORRI: self._op_orri,
+            Op.EORI: self._op_eori,
+            Op.LSLI: self._op_lsli,
+            Op.LSRI: self._op_lsri,
+            Op.ASRI: self._op_asri,
+            Op.MULI: self._op_muli,
+            Op.MOVI: self._op_movi,
+            Op.MOVT: self._op_movt,
+            Op.CMPI: self._op_cmpi,
+            Op.LDR: self._op_ldr,
+            Op.STR: self._op_str,
+            Op.LDRB: self._op_ldrb,
+            Op.STRB: self._op_strb,
+            Op.LDRT: self._op_ldrt,
+            Op.STRT: self._op_strt,
+            Op.B: self._op_b,
+            Op.BL: self._op_bl,
+            Op.BR: self._op_br,
+            Op.BLR: self._op_blr,
+            Op.SWI: self._op_swi,
+            Op.SRET: self._op_sret,
+            Op.HALT: self._op_halt,
+            Op.CPS: self._op_cps,
+            Op.MRC: self._op_mrc,
+            Op.MCR: self._op_mcr,
+            Op.WFI: self._op_wfi,
+            Op.UND: self._op_und,
+        }
+
+    # ALU -----------------------------------------------------------------
+    def _op_nop(self, insn, pc):
+        self.cpu.pc = pc + 4
+
+    def _op_add(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rn] + regs[insn.rm]) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_sub(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rn] - regs[insn.rm]) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_and(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rn] & regs[insn.rm]
+        self.cpu.pc = pc + 4
+
+    def _op_orr(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rn] | regs[insn.rm]
+        self.cpu.pc = pc + 4
+
+    def _op_eor(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rn] ^ regs[insn.rm]
+        self.cpu.pc = pc + 4
+
+    def _op_lsl(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rn] << (regs[insn.rm] & 31)) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_lsr(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rn] >> (regs[insn.rm] & 31)
+        self.cpu.pc = pc + 4
+
+    def _op_asr(self, insn, pc):
+        regs = self.cpu.regs
+        value = regs[insn.rn]
+        if value & 0x80000000:
+            value -= 1 << 32
+        regs[insn.rd] = (value >> (regs[insn.rm] & 31)) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_mul(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rn] * regs[insn.rm]) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_udiv(self, insn, pc):
+        regs = self.cpu.regs
+        divisor = regs[insn.rm]
+        regs[insn.rd] = regs[insn.rn] // divisor if divisor else 0
+        self.cpu.pc = pc + 4
+
+    def _op_urem(self, insn, pc):
+        regs = self.cpu.regs
+        divisor = regs[insn.rm]
+        regs[insn.rd] = regs[insn.rn] % divisor if divisor else 0
+        self.cpu.pc = pc + 4
+
+    def _op_mov(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rm]
+        self.cpu.pc = pc + 4
+
+    def _op_mvn(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (~regs[insn.rm]) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_cmp(self, insn, pc):
+        regs = self.cpu.regs
+        self.cpu.set_flags_sub(regs[insn.rn], regs[insn.rm])
+        self.cpu.pc = pc + 4
+
+    def _op_addi(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rn] + insn.imm) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_subi(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rn] - insn.imm) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_andi(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rn] & insn.imm
+        self.cpu.pc = pc + 4
+
+    def _op_orri(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rn] | insn.imm
+        self.cpu.pc = pc + 4
+
+    def _op_eori(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rn] ^ insn.imm
+        self.cpu.pc = pc + 4
+
+    def _op_lsli(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rn] << (insn.imm & 31)) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_lsri(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = regs[insn.rn] >> (insn.imm & 31)
+        self.cpu.pc = pc + 4
+
+    def _op_asri(self, insn, pc):
+        regs = self.cpu.regs
+        value = regs[insn.rn]
+        if value & 0x80000000:
+            value -= 1 << 32
+        regs[insn.rd] = (value >> (insn.imm & 31)) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_muli(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rn] * insn.imm) & MASK32
+        self.cpu.pc = pc + 4
+
+    def _op_movi(self, insn, pc):
+        self.cpu.regs[insn.rd] = insn.imm
+        self.cpu.pc = pc + 4
+
+    def _op_movt(self, insn, pc):
+        regs = self.cpu.regs
+        regs[insn.rd] = (regs[insn.rd] & 0xFFFF) | (insn.imm << 16)
+        self.cpu.pc = pc + 4
+
+    def _op_cmpi(self, insn, pc):
+        self.cpu.set_flags_sub(self.cpu.regs[insn.rn], insn.imm)
+        self.cpu.pc = pc + 4
+
+    # Memory ----------------------------------------------------------------
+    def _op_ldr(self, insn, pc):
+        cpu = self.cpu
+        regs = cpu.regs
+        addr = (regs[insn.rn] + insn.imm) & MASK32
+        value = self._mem_read(addr, 4, cpu.psr & PSR_MODE_KERNEL)
+        self.counters.loads += 1
+        regs[insn.rd] = value
+        cpu.pc = pc + 4
+
+    def _op_str(self, insn, pc):
+        cpu = self.cpu
+        regs = cpu.regs
+        addr = (regs[insn.rn] + insn.imm) & MASK32
+        self._mem_write(addr, regs[insn.rd], 4, cpu.psr & PSR_MODE_KERNEL)
+        self.counters.stores += 1
+        cpu.pc = pc + 4
+
+    def _op_ldrb(self, insn, pc):
+        cpu = self.cpu
+        regs = cpu.regs
+        addr = (regs[insn.rn] + insn.imm) & MASK32
+        value = self._mem_read(addr, 1, cpu.psr & PSR_MODE_KERNEL)
+        self.counters.loads += 1
+        regs[insn.rd] = value
+        cpu.pc = pc + 4
+
+    def _op_strb(self, insn, pc):
+        cpu = self.cpu
+        regs = cpu.regs
+        addr = (regs[insn.rn] + insn.imm) & MASK32
+        self._mem_write(addr, regs[insn.rd] & 0xFF, 1, cpu.psr & PSR_MODE_KERNEL)
+        self.counters.stores += 1
+        cpu.pc = pc + 4
+
+    def _op_ldrt(self, insn, pc):
+        cpu = self.cpu
+        regs = cpu.regs
+        addr = (regs[insn.rn] + insn.imm) & MASK32
+        value = self._mem_read(addr, 4, 0)  # user privileges
+        self.counters.loads += 1
+        self.counters.nonpriv_accesses += 1
+        regs[insn.rd] = value
+        cpu.pc = pc + 4
+
+    def _op_strt(self, insn, pc):
+        cpu = self.cpu
+        regs = cpu.regs
+        addr = (regs[insn.rn] + insn.imm) & MASK32
+        self._mem_write(addr, regs[insn.rd], 4, 0)  # user privileges
+        self.counters.stores += 1
+        self.counters.nonpriv_accesses += 1
+        cpu.pc = pc + 4
+
+    # Control flow -------------------------------------------------------------
+    def _classify_taken(self, pc, target, direct):
+        counters = self.counters
+        if (pc >> PAGE_SHIFT) == (target >> PAGE_SHIFT):
+            if direct:
+                counters.branches_direct_intra += 1
+            else:
+                counters.branches_indirect_intra += 1
+        elif direct:
+            counters.branches_direct_inter += 1
+        else:
+            counters.branches_indirect_inter += 1
+
+    def _op_b(self, insn, pc):
+        cpu = self.cpu
+        if insn.cond and not cpu.condition_holds(insn.cond):
+            self.counters.branches_not_taken += 1
+            cpu.pc = pc + 4
+            return
+        target = (pc + 4 + 4 * insn.imm) & MASK32
+        self._classify_taken(pc, target, True)
+        cpu.pc = target
+
+    def _op_bl(self, insn, pc):
+        cpu = self.cpu
+        if insn.cond and not cpu.condition_holds(insn.cond):
+            self.counters.branches_not_taken += 1
+            cpu.pc = pc + 4
+            return
+        cpu.regs[14] = (pc + 4) & MASK32
+        target = (pc + 4 + 4 * insn.imm) & MASK32
+        self.counters.calls += 1
+        self._classify_taken(pc, target, True)
+        cpu.pc = target
+
+    def _op_br(self, insn, pc):
+        cpu = self.cpu
+        target = cpu.regs[insn.rn] & MASK32
+        self._classify_taken(pc, target, False)
+        cpu.pc = target
+
+    def _op_blr(self, insn, pc):
+        cpu = self.cpu
+        target = cpu.regs[insn.rn] & MASK32
+        cpu.regs[14] = (pc + 4) & MASK32
+        self.counters.calls += 1
+        self._classify_taken(pc, target, False)
+        cpu.pc = target
+
+    # System -----------------------------------------------------------------
+    def _op_swi(self, insn, pc):
+        self.counters.syscalls += 1
+        self._deliver(ExceptionVector.SWI, pc + 4)
+
+    def _op_sret(self, insn, pc):
+        self._require_kernel()
+        self.counters.exception_returns += 1
+        self.cpu.exception_return()
+
+    def _op_halt(self, insn, pc):
+        cpu = self.cpu
+        cpu.halted = True
+        cpu.halt_code = insn.imm
+        cpu.pc = pc + 4
+
+    def _op_cps(self, insn, pc):
+        self._require_kernel()
+        cpu = self.cpu
+        cpu.psr = (cpu.psr & PSR_FLAGS_MASK) | (insn.imm & (PSR_MODE_KERNEL | PSR_IRQ_ENABLE))
+        cpu.pc = pc + 4
+
+    def _op_mrc(self, insn, pc):
+        self._require_kernel()
+        try:
+            value = self._cops.read(insn.rn, insn.imm & 0xFF)
+        except UndefinedCoprocessorAccess:
+            raise GuestUndef()
+        self.counters.coproc_reads += 1
+        self.cpu.regs[insn.rd] = value
+        self.cpu.pc = pc + 4
+
+    def _op_mcr(self, insn, pc):
+        self._require_kernel()
+        try:
+            self._cops.write(insn.rn, insn.imm & 0xFF, self.cpu.regs[insn.rd])
+        except UndefinedCoprocessorAccess:
+            raise GuestUndef()
+        self.counters.coproc_writes += 1
+        self.cpu.pc = pc + 4
+
+    def _op_wfi(self, insn, pc):
+        cpu = self.cpu
+        cpu.waiting = True
+        cpu.pc = pc + 4
+
+    def _op_und(self, insn, pc):
+        raise GuestUndef()
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def _pre_execute(self, insn, pc):
+        """Hook for subclasses that model extra per-instruction work."""
+
+    def run(self, max_insns=None):
+        cpu = self.cpu
+        counters = self.counters
+        intc = self._intc
+        dispatch = self._dispatch
+        start = counters.instructions
+        limit = start + max_insns if max_insns is not None else None
+        while not cpu.halted:
+            if limit is not None and counters.instructions >= limit:
+                return RunResult(ExitReason.LIMIT, None, counters.instructions - start)
+            # Interrupts are sampled at instruction boundaries.
+            if intc.pending & intc.enable:
+                if cpu.waiting or cpu.psr & PSR_IRQ_ENABLE:
+                    cpu.waiting = False
+                    if cpu.psr & PSR_IRQ_ENABLE:
+                        counters.irqs += 1
+                        self._deliver(ExceptionVector.IRQ, cpu.pc)
+            elif cpu.waiting:
+                return RunResult(ExitReason.DEADLOCK, None, counters.instructions - start)
+            pc = cpu.pc
+            try:
+                insn = self._fetch(pc)
+            except Fault as fault:
+                counters.prefetch_aborts += 1
+                self._cp15.record_fault(fault)
+                self._deliver(ExceptionVector.PREFETCH_ABORT, pc)
+                continue
+            except DecodeError:
+                # Architecturally-undefined encoding.
+                counters.instructions += 1
+                counters.undefs += 1
+                self._deliver(ExceptionVector.UNDEF, pc + 4)
+                continue
+            counters.instructions += 1
+            self._pre_execute(insn, pc)
+            try:
+                dispatch[insn.op](insn, pc)
+            except Fault as fault:
+                counters.data_aborts += 1
+                self._cp15.record_fault(fault)
+                self._deliver(ExceptionVector.DATA_ABORT, pc)
+            except GuestUndef:
+                counters.undefs += 1
+                self._deliver(ExceptionVector.UNDEF, pc + 4)
+        return RunResult(ExitReason.HALT, cpu.halt_code, counters.instructions - start)
+
+    def feature_summary(self):
+        return {
+            "Execution Model": self.execution_model,
+            "Memory Access": "software TLB + page walker",
+            "Code Generation": "none",
+            "Control Flow": "interpreted",
+            "Interrupts": "instruction boundaries",
+            "Synchronous Exceptions": "interpreted",
+            "Undefined Instruction": "interpreted",
+        }

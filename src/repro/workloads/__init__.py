@@ -1,0 +1,17 @@
+"""SPEC CPU2006 INT proxy workloads.
+
+The paper uses the SPEC2006 Integer suite to demonstrate that
+application benchmarks hide and cannot explain simulator performance
+anomalies (Figures 2 and 8) and to compute per-operation densities
+(Figure 3).  SPEC itself cannot run on the SRV32 guest, so this package
+provides twelve *proxies*, one per SPEC INT benchmark, written in MiniC
+and compiled to bare-metal guest programs.  Each proxy mimics the
+dynamic character of its namesake (mcf = pointer chasing over a large
+working set, sjeng = branchy game-tree evaluation, ...), which is what
+the reproduced experiments actually depend on.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.spec import SPEC_PROXIES, get_workload
+
+__all__ = ["Workload", "SPEC_PROXIES", "get_workload"]

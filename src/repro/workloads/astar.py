@@ -1,0 +1,80 @@
+"""473.astar proxy: grid path search.
+
+astar searches 2-D maps with open lists and neighbour expansion; the
+proxy runs a greedy best-first walk over a weighted grid with a small
+frontier array -- irregular memory access and branchy neighbour
+selection.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var grid[1024];    // 32x32 cost field
+var dist[1024];
+var seed = 2024;
+
+func rand() {
+    seed = seed * 22695477 + 1;
+    return (seed >> 12) & 15;
+}
+
+func init() {
+    var i = 0;
+    while (i < 1024) {
+        grid[i] = rand() + 1;
+        dist[i] = 4294967295;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func relax(node, d) {
+    if (d < dist[node]) {
+        dist[node] = d;
+        return 1;
+    }
+    return 0;
+}
+
+func main(n) {
+    var x = n & 15;
+    var y = 0;
+    var d = 0;
+    var steps = 0;
+    while (y < 31) {
+        var idx = y * 32 + x;
+        d = d + grid[idx];
+        relax(idx, d);
+        // Choose the cheaper of the three forward neighbours.
+        var down = grid[idx + 32];
+        var left = 4294967295;
+        var right = 4294967295;
+        if (x > 0) {
+            left = grid[idx + 31];
+        }
+        if (x < 31) {
+            right = grid[idx + 33];
+        }
+        if (down <= left && down <= right) {
+            y = y + 1;
+        } else {
+            if (left < right) {
+                x = x - 1;
+                y = y + 1;
+            } else {
+                x = x + 1;
+                y = y + 1;
+            }
+        }
+        steps = steps + 1;
+    }
+    return d + steps;
+}
+"""
+
+ASTAR = Workload(
+    name="astar",
+    source=SOURCE,
+    default_iterations=12,
+    description="greedy best-first walk over a weighted grid",
+)

@@ -1,0 +1,74 @@
+"""Workload wrapper: MiniC source -> three-phase bare-metal program.
+
+:class:`Workload` is duck-compatible with
+:class:`~repro.core.benchmark.Benchmark`, so the standard harness runs
+workloads unchanged: the kernel phase calls the compiled ``main``
+function once per iteration (passing the remaining iteration count, so
+workloads can vary their behaviour across iterations).
+"""
+
+from repro.core.program import ProgramBuilder
+from repro.lang import compile_minic
+
+#: Globals live this far into the platform's data region, clear of the
+#: scratch addresses the micro-benchmarks use.
+GLOBALS_OFFSET = 0x10000
+
+
+class Workload:
+    """A MiniC application workload.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (the SPEC benchmark it proxies, e.g. ``mcf``).
+    source:
+        MiniC source text.  Must define ``func main(i)`` (or
+        ``func main()``); ``main`` is invoked once per kernel iteration.
+    default_iterations:
+        Kernel iterations per run.
+    description:
+        What the proxy mimics about its namesake.
+    """
+
+    group = "SPEC proxy"
+    paper_iterations = 0
+    ops_per_iteration = 0
+    operation_counters = ()
+
+    def __init__(self, name, source, default_iterations=10, description=""):
+        self.name = name
+        self.source = source
+        self.default_iterations = default_iterations
+        self.description = description
+
+    # Benchmark-compatible hooks --------------------------------------
+    def effective(self, arch):
+        return True
+
+    def supported_by(self, simulator_name):
+        return True
+
+    def operation_counters_for(self, arch):
+        return self.operation_counters
+
+    def build(self, arch, platform):
+        globals_base = platform.layout.data_base + GLOBALS_OFFSET
+        unit = compile_minic(
+            self.source, globals_base=globals_base, uart_base=platform.uart_base
+        )
+        builder = ProgramBuilder(arch, platform)
+        if "init" in unit.functions:
+            # One-time initialisation runs in the (untimed) setup phase.
+            builder.setup.emit("    bl %s" % unit.entry_label("init"))
+        w = builder.kernel
+        w.emit("    mov r0, r10")
+        w.emit("    bl %s" % unit.entry_label("main"))
+        builder.handlers.emit(unit.text_asm)
+        builder.data.emit(unit.data_asm)
+        built = builder.build()
+        built.compiled_unit = unit
+        return built
+
+    def __repr__(self):
+        return "<Workload %s>" % self.name

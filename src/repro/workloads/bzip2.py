@@ -1,0 +1,63 @@
+"""401.bzip2 proxy: bit manipulation and run-length scanning.
+
+bzip2's hot loops shuffle bits and scan runs; the proxy fills a block
+with pseudo-random words, then performs a pass of masked rotates and a
+run-length count with data-dependent branches.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var block[1024];
+var seed = 7;
+var runs;
+var mixed;
+
+func rand() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+func init() {
+    var i = 0;
+    while (i < 1024) {
+        block[i] = rand();
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main(n) {
+    var i = 0;
+    var acc = 0;
+    while (i < 1024) {
+        var v = block[i];
+        // Rotate left by (n & 7) bits, then mix.
+        var r = n & 7;
+        v = ((v << r) | (v >> (32 - r))) & 4294967295;
+        v = v ^ (v >> 13);
+        acc = acc ^ v;
+        block[i] = v;
+        i = i + 1;
+    }
+    // Run-length scan of the low bit.
+    i = 1;
+    var count = 0;
+    while (i < 1024) {
+        if ((block[i] & 1) == (block[i - 1] & 1)) {
+            count = count + 1;
+        }
+        i = i + 1;
+    }
+    runs = runs + count;
+    mixed = acc;
+    return count;
+}
+"""
+
+BZIP2 = Workload(
+    name="bzip2",
+    source=SOURCE,
+    default_iterations=5,
+    description="bit rotates, masking, and run-length scanning",
+)

@@ -1,0 +1,69 @@
+"""403.gcc proxy: large code footprint, many small pass functions.
+
+gcc runs dozens of compiler passes, each a distinct piece of code; its
+dynamic profile is call-heavy with a big instruction footprint.  The
+proxy pipes a small 'IR' array through eight distinct pass functions,
+each transforming the array differently, so the run crosses many code
+pages and returns constantly.
+"""
+
+from repro.workloads.base import Workload
+
+
+def _pass_func(index, body):
+    return """
+func pass%d(x) {
+    var i = 0;
+    while (i < 128) {
+        ir[i] = %s;
+        i = i + 1;
+    }
+    return x + 1;
+}
+""" % (index, body)
+
+
+_BODIES = (
+    "ir[i] + x",
+    "ir[i] ^ (x << 1)",
+    "(ir[i] >> 1) + 3",
+    "ir[i] * 5",
+    "ir[i] - (x & 15)",
+    "ir[i] | 1",
+    "ir[i] ^ (ir[i] >> 3)",
+    "ir[i] + (i & 7)",
+)
+
+SOURCE = (
+    """
+var ir[128];
+var result;
+
+func init() {
+    var i = 0;
+    while (i < 128) {
+        ir[i] = i * 2654435761;
+        i = i + 1;
+    }
+    return 0;
+}
+"""
+    + "".join(_pass_func(i, body) for i, body in enumerate(_BODIES))
+    + """
+func main(n) {
+    var x = n;
+"""
+    + "".join("    x = pass%d(x);\n" % i for i in range(len(_BODIES)))
+    + """
+    result = result + x;
+    return x;
+}
+"""
+)
+
+GCC = Workload(
+    name="gcc",
+    source=SOURCE,
+    default_iterations=8,
+    description="many distinct pass functions over an IR array (call-heavy)",
+)

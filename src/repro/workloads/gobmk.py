@@ -1,0 +1,75 @@
+"""445.gobmk proxy: branchy board-pattern evaluation.
+
+Go engines evaluate board positions with dense, data-dependent
+branching.  The proxy scans a 19x19 board and classifies each point
+against its neighbours through a chain of conditions.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var board[400];
+var seed = 1234;
+var score;
+
+func rand() {
+    seed = seed * 22695477 + 1;
+    return (seed >> 16) & 3;
+}
+
+func init() {
+    var i = 0;
+    while (i < 400) {
+        board[i] = rand();
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main(n) {
+    var row = 1;
+    var acc = 0;
+    while (row < 18) {
+        var col = 1;
+        while (col < 18) {
+            var idx = row * 19 + col;
+            var c = board[idx];
+            if (c == 1) {
+                var friends = 0;
+                if (board[idx - 1] == 1) { friends = friends + 1; }
+                if (board[idx + 1] == 1) { friends = friends + 1; }
+                if (board[idx - 19] == 1) { friends = friends + 1; }
+                if (board[idx + 19] == 1) { friends = friends + 1; }
+                if (friends >= 2) {
+                    acc = acc + 3;
+                } else {
+                    if (friends == 1) {
+                        acc = acc + 1;
+                    }
+                }
+            } else {
+                if (c == 2) {
+                    if (board[idx - 1] == 0 && board[idx + 1] == 0) {
+                        acc = acc + 2;
+                    }
+                } else {
+                    if ((c ^ (n & 3)) == 3) {
+                        board[idx] = (c + 1) & 3;
+                    }
+                }
+            }
+            col = col + 1;
+        }
+        row = row + 1;
+    }
+    score = score + acc;
+    return acc;
+}
+"""
+
+GOBMK = Workload(
+    name="gobmk",
+    source=SOURCE,
+    default_iterations=5,
+    description="dense data-dependent branching over a Go board",
+)

@@ -1,0 +1,59 @@
+"""464.h264ref proxy: sum-of-absolute-differences motion search.
+
+Video encoders spend their time computing SAD between candidate blocks;
+the proxy compares 16x16 blocks at several offsets, with the abs-diff
+branch making the inner loop data-dependent.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var frame[2048];
+var best_sad;
+
+func init() {
+    var i = 0;
+    while (i < 2048) {
+        frame[i] = (i * 1103515245 + 12345) >> 24;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func sad16(a, b) {
+    var i = 0;
+    var total = 0;
+    while (i < 256) {
+        var x = frame[a + i];
+        var y = frame[b + i];
+        if (x > y) {
+            total = total + (x - y);
+        } else {
+            total = total + (y - x);
+        }
+        i = i + 1;
+    }
+    return total;
+}
+
+func main(n) {
+    var offset = 0;
+    var best = 4294967295;
+    while (offset < 6) {
+        var s = sad16(0, 256 + offset * 16 + (n & 3));
+        if (s < best) {
+            best = s;
+        }
+        offset = offset + 1;
+    }
+    best_sad = best;
+    return best;
+}
+"""
+
+H264REF = Workload(
+    name="h264ref",
+    source=SOURCE,
+    default_iterations=5,
+    description="sum-of-absolute-differences block matching",
+)

@@ -1,0 +1,55 @@
+"""456.hmmer proxy: regular dynamic-programming array sweeps.
+
+hmmer's profile-HMM search is dominated by regular inner loops of
+multiply-accumulate and max operations over score matrices; the proxy
+runs a banded DP sweep over two arrays -- long, predictable, sequential
+loops (simulator-friendly code that improves with codegen quality).
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var scores[1024];
+var trans[1024];
+var best;
+
+func init() {
+    var i = 0;
+    while (i < 1024) {
+        scores[i] = (i * 2654435761) >> 20;
+        trans[i] = (i * 40503) & 255;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main(n) {
+    var i = 1;
+    var acc = 0;
+    while (i < 1024) {
+        var m = scores[i - 1] + trans[i];
+        var d = scores[i] + 3;
+        if (m < d) {
+            m = d;
+        }
+        scores[i] = m + (n & 7);
+        acc = acc + m;
+        i = i + 1;
+    }
+    // Second sweep: multiply-accumulate.
+    i = 0;
+    while (i < 1024) {
+        acc = acc + scores[i] * trans[i];
+        i = i + 4;
+    }
+    best = acc;
+    return acc;
+}
+"""
+
+HMMER = Workload(
+    name="hmmer",
+    source=SOURCE,
+    default_iterations=5,
+    description="regular DP sweeps with multiply-accumulate",
+)

@@ -1,0 +1,43 @@
+"""462.libquantum proxy: streaming gate application.
+
+libquantum applies quantum gates as streaming passes over a large
+state-vector array -- long sequential loads/stores with trivial control
+flow.  The proxy toggles and phases a 64K-entry register file.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var state[65536];
+var phase;
+
+func init() {
+    var i = 0;
+    while (i < 65536) {
+        state[i] = i;
+        i = i + 16;
+    }
+    return 0;
+}
+
+func main(n) {
+    var target = n & 15;
+    var mask = 1 << target;
+    var i = 0;
+    var acc = 0;
+    while (i < 65536) {
+        state[i] = state[i] ^ mask;
+        acc = acc + (state[i] & mask);
+        i = i + 64;
+    }
+    phase = phase + acc;
+    return acc;
+}
+"""
+
+LIBQUANTUM = Workload(
+    name="libquantum",
+    source=SOURCE,
+    default_iterations=6,
+    description="streaming XOR passes over a large state vector",
+)

@@ -1,0 +1,60 @@
+"""429.mcf proxy: pointer chasing over a large working set.
+
+mcf's network-simplex solver chases node/arc pointers with poor
+locality and calls small cost helpers per hop.  The proxy walks a
+pseudo-random permutation (a single long cycle) through a 192 KiB
+array, invoking a cost function on every hop -- memory-latency-bound
+with frequent small calls, which is exactly the profile that makes the
+real mcf sensitive to simulator dispatch and memory-path changes.
+"""
+
+from repro.workloads.base import Workload
+
+_NODES = 49152  # 192 KiB of next-pointers
+
+SOURCE = """
+var next_node[%(nodes)d];
+var cursor;
+var total;
+
+func penalty(v) {
+    return (v >> 7) & 63;
+}
+
+func cost(v) {
+    return ((v * 31) + penalty(v)) & 1023;
+}
+
+func init() {
+    // Build one long cycle: i -> (i + STRIDE) mod NODES, with STRIDE
+    // coprime to NODES, so the walk touches every node with a large
+    // stride (poor spatial locality).
+    var i = 0;
+    while (i < %(nodes)d) {
+        next_node[i] = (i + 12289) %% %(nodes)d;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main(n) {
+    var hops = 0;
+    var node = cursor;
+    var acc = 0;
+    while (hops < 512) {
+        node = next_node[node];
+        acc = acc + cost(node);
+        hops = hops + 1;
+    }
+    cursor = node;
+    total = total + acc;
+    return acc;
+}
+""" % {"nodes": _NODES}
+
+MCF = Workload(
+    name="mcf",
+    source=SOURCE,
+    default_iterations=6,
+    description="large-stride pointer chasing with per-hop cost calls",
+)

@@ -1,0 +1,85 @@
+"""471.omnetpp proxy: discrete-event simulation on a binary heap.
+
+omnetpp schedules and dispatches simulation events through a priority
+queue; the proxy pushes and pops pseudo-random timestamps through an
+array-backed binary heap -- pointer-ish index arithmetic with
+hard-to-predict branches and frequent small calls.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var heap[1024];
+var heap_size;
+var seed = 99;
+var dispatched;
+
+func rand() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 8) & 65535;
+}
+
+func push(v) {
+    var i = heap_size;
+    heap[i] = v;
+    heap_size = heap_size + 1;
+    while (i > 0) {
+        var parent = (i - 1) / 2;
+        if (heap[parent] <= heap[i]) {
+            break;
+        }
+        var t = heap[parent];
+        heap[parent] = heap[i];
+        heap[i] = t;
+        i = parent;
+    }
+    return 0;
+}
+
+func pop() {
+    var top = heap[0];
+    heap_size = heap_size - 1;
+    heap[0] = heap[heap_size];
+    var i = 0;
+    while (1) {
+        var l = i * 2 + 1;
+        var r = l + 1;
+        var smallest = i;
+        if (l < heap_size && heap[l] < heap[smallest]) {
+            smallest = l;
+        }
+        if (r < heap_size && heap[r] < heap[smallest]) {
+            smallest = r;
+        }
+        if (smallest == i) {
+            break;
+        }
+        var t = heap[smallest];
+        heap[smallest] = heap[i];
+        heap[i] = t;
+        i = smallest;
+    }
+    return top;
+}
+
+func main(n) {
+    var i = 0;
+    while (i < 64) {
+        push(rand());
+        i = i + 1;
+    }
+    var acc = 0;
+    while (heap_size > 0) {
+        acc = acc + pop();
+    }
+    dispatched = dispatched + acc;
+    return acc;
+}
+"""
+
+OMNETPP = Workload(
+    name="omnetpp",
+    source=SOURCE,
+    default_iterations=5,
+    description="event scheduling through an array-backed binary heap",
+)

@@ -1,0 +1,63 @@
+"""400.perlbench proxy: hash-table churn.
+
+Perl spends much of its time hashing keys into symbol tables and
+walking bucket chains; the proxy inserts pseudo-random keys into a
+power-of-two hash table and re-looks them up, mixing multiplies,
+shifts, and data-dependent branches.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var table[2048];
+var keys[256];
+var seed = 42;
+var checksum;
+
+func rand() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+func hash(k) {
+    var h = k * 2654435761;
+    return (h >> 21) & 2047;
+}
+
+func init() {
+    var i = 0;
+    while (i < 256) {
+        keys[i] = rand() + 1;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main(n) {
+    var i = 0;
+    while (i < 256) {
+        var h = hash(keys[i] + n);
+        table[h] = table[h] + keys[i];
+        i = i + 1;
+    }
+    // Lookup pass: count occupied buckets along a probe sequence.
+    i = 0;
+    var hits = 0;
+    while (i < 256) {
+        var h = hash(keys[i] + n);
+        if (table[h] != 0) {
+            hits = hits + 1;
+        }
+        i = i + 1;
+    }
+    checksum = checksum + hits;
+    return hits;
+}
+"""
+
+PERLBENCH = Workload(
+    name="perlbench",
+    source=SOURCE,
+    default_iterations=6,
+    description="hash-table insert/lookup churn (symbol-table behaviour)",
+)

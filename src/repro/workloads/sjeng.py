@@ -1,0 +1,62 @@
+"""458.sjeng proxy: compute-dense game-tree evaluation.
+
+Chess engines burn most of their time in position evaluation: long
+straight-line arithmetic over piece tables inside tight intra-page
+loops.  The proxy evaluates a piece-square table with large unrolled
+arithmetic blocks and few function calls, so its performance tracks
+translated-code quality -- the profile that made the real sjeng *gain*
+from QEMU's TCG optimiser work while other benchmarks regressed.
+"""
+
+from repro.workloads.base import Workload
+
+
+def _eval_block(var, salt):
+    """A straight-line mixing block (keeps expression depth shallow)."""
+    lines = []
+    lines.append("        %s = %s + (p * 13);" % (var, var))
+    lines.append("        %s = %s ^ (p >> %d);" % (var, var, 1 + salt % 5))
+    lines.append("        %s = %s + (q * %d);" % (var, var, 3 + salt))
+    lines.append("        %s = (%s << 1) | (%s >> 31);" % (var, var, var))
+    lines.append("        %s = %s - (q & 255);" % (var, var))
+    lines.append("        %s = %s ^ (%s >> 7);" % (var, var, var))
+    return "\n".join(lines)
+
+
+SOURCE = (
+    """
+var pst[512];
+var material;
+
+func init() {
+    var i = 0;
+    while (i < 512) {
+        pst[i] = (i * 2246822519) >> 16;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main(n) {
+    var sq = 0;
+    var acc = n;
+    while (sq < 256) {
+        var p = pst[sq];
+        var q = pst[sq + 256];
+"""
+    + "\n".join(_eval_block("acc", salt) for salt in range(6))
+    + """
+        sq = sq + 1;
+    }
+    material = material + acc;
+    return acc;
+}
+"""
+)
+
+SJENG = Workload(
+    name="sjeng",
+    source=SOURCE,
+    default_iterations=5,
+    description="compute-dense evaluation loops (codegen-quality bound)",
+)

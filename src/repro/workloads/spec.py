@@ -1,0 +1,40 @@
+"""The SPEC CPU2006 INT proxy suite."""
+
+from repro.workloads.astar import ASTAR
+from repro.workloads.bzip2 import BZIP2
+from repro.workloads.gcc import GCC
+from repro.workloads.gobmk import GOBMK
+from repro.workloads.h264ref import H264REF
+from repro.workloads.hmmer import HMMER
+from repro.workloads.libquantum import LIBQUANTUM
+from repro.workloads.mcf import MCF
+from repro.workloads.omnetpp import OMNETPP
+from repro.workloads.perlbench import PERLBENCH
+from repro.workloads.sjeng import SJENG
+from repro.workloads.xalancbmk import XALANCBMK
+
+#: All twelve proxies, in SPEC CPU2006 INT numbering order.
+SPEC_PROXIES = (
+    PERLBENCH,
+    BZIP2,
+    GCC,
+    MCF,
+    GOBMK,
+    HMMER,
+    SJENG,
+    LIBQUANTUM,
+    H264REF,
+    OMNETPP,
+    ASTAR,
+    XALANCBMK,
+)
+
+_BY_NAME = {workload.name: workload for workload in SPEC_PROXIES}
+
+
+def get_workload(name):
+    """Look up a proxy by its SPEC short name (e.g. ``"mcf"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError("unknown workload %r (known: %s)" % (name, ", ".join(_BY_NAME)))

@@ -1,0 +1,84 @@
+"""483.xalancbmk proxy: tree transformation with type dispatch.
+
+The XSLT processor walks DOM trees dispatching on node types through
+virtual calls; MiniC has no function pointers, so the proxy encodes a
+node-type dispatch as per-type handler functions selected by a branch
+chain -- preserving the call-and-return-heavy, dispatch-dominated
+dynamic profile.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+var node_type[512];
+var node_value[512];
+var node_next[512];
+var output;
+var seed = 7;
+
+func rand() {
+    seed = seed * 1103515245 + 12345;
+    return seed >> 16;
+}
+
+func init() {
+    var i = 0;
+    while (i < 512) {
+        node_type[i] = rand() & 3;
+        node_value[i] = rand() & 1023;
+        node_next[i] = (i + 37) % 512;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func on_element(v) {
+    return (v << 1) ^ 3;
+}
+
+func on_text(v) {
+    return v + 17;
+}
+
+func on_attribute(v) {
+    return (v >> 1) | 1;
+}
+
+func on_comment(v) {
+    return v ^ 255;
+}
+
+func main(n) {
+    var node = n & 511;
+    var visits = 0;
+    var acc = 0;
+    while (visits < 384) {
+        var t = node_type[node];
+        var v = node_value[node];
+        if (t == 0) {
+            acc = acc + on_element(v);
+        } else {
+            if (t == 1) {
+                acc = acc + on_text(v);
+            } else {
+                if (t == 2) {
+                    acc = acc + on_attribute(v);
+                } else {
+                    acc = acc + on_comment(v);
+                }
+            }
+        }
+        node = node_next[node];
+        visits = visits + 1;
+    }
+    output = output + acc;
+    return acc;
+}
+"""
+
+XALANCBMK = Workload(
+    name="xalancbmk",
+    source=SOURCE,
+    default_iterations=6,
+    description="type-dispatched tree walking (call/return heavy)",
+)

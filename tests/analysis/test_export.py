@@ -1,0 +1,82 @@
+"""CSV export tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    density_to_csv,
+    figure6_to_csv,
+    figure7_to_csv,
+    series_to_csv,
+)
+
+
+def _rows(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self):
+        data = {"versions": ["a", "b"], "series": {"x": [1.0, 2.0], "y": [3.0, 4.0]}}
+        rows = _rows(series_to_csv(data))
+        assert rows[0] == ["version", "x", "y"]
+        assert rows[1] == ["a", "1.000000", "3.000000"]
+        assert rows[2] == ["b", "2.000000", "4.000000"]
+
+    def test_missing_index_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"series": {}})
+
+
+class TestFigure6Csv:
+    def test_flattening(self):
+        data = {
+            "versions": ["v1", "v2"],
+            "panels": {"G": {"B": [1.0, 0.5]}},
+        }
+        rows = _rows(figure6_to_csv(data))
+        assert rows[0] == ["group", "benchmark", "version", "speedup"]
+        assert rows[1] == ["G", "B", "v1", "1.000000"]
+        assert rows[2] == ["G", "B", "v2", "0.500000"]
+
+
+class TestFigure7Csv:
+    def test_status_cells_exported(self):
+        data = {
+            "seconds": {"arm": {"gem5": {"X": None, "Y": 0.5}}},
+            "status": {"arm": {"gem5": {"X": "unsupported", "Y": "ok"}}},
+        }
+        rows = _rows(figure7_to_csv(data))
+        cells = {(r[1], r[2]): r[3] for r in rows[1:]}
+        assert cells[("X", "gem5")] == "unsupported"
+        assert cells[("Y", "gem5")] == "0.500000000"
+
+
+class TestDensityCsv:
+    def test_none_rendered_empty(self):
+        rows_in = [
+            {
+                "group": "G",
+                "benchmark": "B",
+                "paper_iterations": 10,
+                "iterations": 2,
+                "simbench_density": None,
+                "spec_density": 1e-5,
+            }
+        ]
+        rows = _rows(density_to_csv(rows_in))
+        assert rows[1][4] == ""
+        assert rows[1][5] == "1.000e-05"
+
+
+class TestEndToEnd:
+    def test_real_figure_exports(self):
+        from repro.analysis import figures
+
+        fig2 = figures.figure2(scale=0.1)
+        text = series_to_csv(fig2)
+        rows = _rows(text)
+        assert len(rows) == 21  # header + 20 versions
+        assert rows[0][0] == "version"

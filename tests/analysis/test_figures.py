@@ -1,0 +1,196 @@
+"""Figure-regeneration smoke tests (small scales, shape assertions)."""
+
+import pytest
+
+from repro.analysis import figures
+from repro.arch import ARM
+from repro.platform import VEXPRESS
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figures.figure7(scale=0.1)
+
+
+class TestFigure1:
+    def test_columns(self):
+        data = figures.figure1()
+        assert data["user-mode"]["MMU"].startswith("host")
+        assert data["full-system"]["MMU"].startswith("simulated")
+        assert "Interrupt controller" in data["full-system"]
+        text = figures.render_figure1(data)
+        assert "Full-system" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figures.figure2(scale=0.4)
+
+    def test_structure(self, data):
+        assert len(data["versions"]) == 20
+        assert set(data["series"]) == {"sjeng", "mcf", "SPEC (overall)"}
+        assert len(data["all_series"]) == 12
+
+    def test_baseline_is_one(self, data):
+        for series in data["series"].values():
+            assert series[0] == pytest.approx(1.0)
+
+    def test_mcf_declines_more_than_sjeng(self, data):
+        assert data["series"]["mcf"][-1] < data["series"]["SPEC (overall)"][-1]
+        assert data["series"]["sjeng"][-1] > data["series"]["mcf"][-1]
+
+    def test_overall_declines(self, data):
+        assert data["series"]["SPEC (overall)"][-1] < 1.0
+
+    def test_sjeng_peaks_around_2_2(self, data):
+        sjeng = dict(zip(data["versions"], data["series"]["sjeng"]))
+        assert sjeng["v2.2.1"] == max(data["series"]["sjeng"])
+
+    def test_render(self, data):
+        text = figures.render_series(data, title="Fig 2")
+        assert "v2.5.0-rc2" in text and "sjeng" in text
+
+
+class TestFigure3:
+    def test_rows_and_density_dominance(self):
+        rows = figures.figure3(scale=0.05, workload_scale=0.34)
+        assert len(rows) == 18
+        for row in rows:
+            if row["simbench_density"] is None:
+                continue
+            assert row["simbench_density"] >= row["spec_density"]
+        text = figures.render_figure3(rows)
+        assert "Hot Memory Access" in text
+
+
+class TestFigure4:
+    def test_matrix_matches_paper(self):
+        matrix = figures.figure4()
+        assert matrix["qemu-dbt"]["Execution Model"] == "DBT"
+        assert matrix["simit"]["Execution Model"] == "Fast Interpreter"
+        assert matrix["gem5"]["Memory Access"] == "Modelled TLB"
+        assert matrix["qemu-kvm"]["Undefined Instruction"] == "Hypercall"
+        assert matrix["native"]["Interrupts"] == "Direct"
+        text = figures.render_figure4(matrix)
+        assert "qemu-dbt" in text
+
+
+class TestFigure5:
+    def test_hosts(self):
+        hosts = figures.figure5()
+        assert set(hosts) == {"arm", "x86"}
+        assert "vexpress" in hosts["arm"]["Platform"]
+
+
+class TestFigure7:
+    def test_structure(self, fig7):
+        assert set(fig7["seconds"]) == {"arm", "x86"}
+        assert set(fig7["seconds"]["arm"]) == {
+            "qemu-dbt",
+            "simit",
+            "gem5",
+            "qemu-kvm",
+            "native",
+        }
+        assert set(fig7["seconds"]["x86"]) == {"qemu-dbt", "qemu-kvm", "native"}
+
+    def test_gem5_daggers(self, fig7):
+        gem5 = fig7["status"]["arm"]["gem5"]
+        assert gem5["External Software Interrupt"] == "unsupported"
+        assert gem5["Memory Mapped Device"] == "unsupported"
+
+    def test_x86_nonpriv_dash(self, fig7):
+        assert fig7["status"]["x86"]["qemu-dbt"]["Nonprivileged Access"] == "not-applicable"
+
+    def test_code_generation_shape(self, fig7):
+        """Figure 7's headline: the interpreter crushes DBT on the Code
+        Generation benchmarks; the detailed interpreter is worst."""
+        arm = fig7["seconds"]["arm"]
+        for bench in ("Small Blocks", "Large Blocks"):
+            assert arm["simit"][bench] < arm["qemu-dbt"][bench] < arm["gem5"][bench]
+
+    def test_control_flow_shape(self, fig7):
+        arm = fig7["seconds"]["arm"]
+        # Chaining gives DBT a clear win on same-page direct branches.
+        assert arm["qemu-dbt"]["Intra-Page Direct"] < arm["simit"]["Intra-Page Direct"]
+        # Across pages the gap closes (the paper: "not as great as might
+        # be expected", since lookups dominate): within 1.6x either way.
+        ratio = arm["qemu-dbt"]["Inter-Page Direct"] / arm["simit"]["Inter-Page Direct"]
+        assert 1 / 1.6 < ratio < 1.6
+        for bench in ("Intra-Page Direct", "Inter-Page Direct"):
+            assert arm["simit"][bench] < arm["gem5"][bench]
+            # The unstable ARM KVM loses to DBT on control flow.
+            assert arm["qemu-dbt"][bench] < arm["qemu-kvm"][bench]
+
+    def test_virtualization_trap_shape(self, fig7):
+        arm = fig7["seconds"]["arm"]
+        for bench in ("External Software Interrupt", "Memory Mapped Device"):
+            assert arm["qemu-kvm"][bench] > 10 * arm["native"][bench]
+
+    def test_hot_memory_shape(self, fig7):
+        arm = fig7["seconds"]["arm"]
+        assert arm["qemu-dbt"]["Hot Memory Access"] < arm["simit"]["Hot Memory Access"]
+        assert arm["gem5"]["Hot Memory Access"] > arm["simit"]["Hot Memory Access"]
+
+    def test_cold_memory_shape(self, fig7):
+        """SimIt's simpler MMU makes it faster than DBT on TLB misses."""
+        arm = fig7["seconds"]["arm"]
+        assert arm["simit"]["Cold Memory Access"] < arm["qemu-dbt"]["Cold Memory Access"]
+
+    def test_x86_native_coproc_quirk(self, fig7):
+        x86 = fig7["seconds"]["x86"]
+        assert x86["native"]["Coprocessor Access"] > x86["qemu-dbt"]["Coprocessor Access"]
+
+    def test_render(self, fig7):
+        text = figures.render_figure7(fig7)
+        assert "(dagger)" in text
+        assert "ARM guest:" in text
+
+
+class TestExplanations:
+    def test_dbt_vs_interpreter(self, fig7):
+        explained = figures.explain_dbt_vs_interpreter(fig7)
+        interpreter_wins = {name for name, _r in explained["interpreter_wins"]}
+        assert "Small Blocks" in interpreter_wins
+        assert "Large Blocks" in interpreter_wins
+        dbt_wins = {name for name, _r in explained["dbt_wins"]}
+        assert "Hot Memory Access" in dbt_wins
+
+    def test_virtualization_explanation(self, fig7):
+        divergences = figures.explain_virtualization(fig7)
+        worst_arm = [name for name, _r in divergences["arm"][:3]]
+        assert "External Software Interrupt" in worst_arm
+        assert "Memory Mapped Device" in worst_arm
+
+
+class TestFigure6And8:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return figures.figure6(ARM, VEXPRESS, scale=0.2)
+
+    def test_fig6_panels(self, fig6):
+        assert set(fig6["panels"]) == {
+            "Code Generation",
+            "Control Flow",
+            "Exception Handling",
+            "I/O",
+            "Memory System",
+        }
+        # Data fault jump is visible in the Exception panel.
+        exceptions = fig6["panels"]["Exception Handling"]
+        data_fault = dict(zip(fig6["versions"], exceptions["Data Access Fault"]))
+        assert data_fault["v2.5.0-rc0"] > 2.0
+
+    def test_fig6_render(self, fig6):
+        text = figures.render_figure6(fig6)
+        assert "[Memory System]" in text
+
+    def test_fig8_geomeans(self, fig6):
+        fig2 = figures.figure2(scale=0.2)
+        fig8 = figures.figure8(figure2_data=fig2, figure6_data=fig6)
+        assert set(fig8["series"]) == {"SPEC", "SimBench"}
+        assert fig8["series"]["SPEC"][0] == pytest.approx(1.0)
+        assert fig8["series"]["SimBench"][0] == pytest.approx(1.0)
+        # Both decline overall by the end of the timeline.
+        assert fig8["series"]["SPEC"][-1] < 1.0

@@ -1,0 +1,79 @@
+"""Report-generation tests."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(scale=0.1, timestamp="2026-07-06T00:00:00")
+
+
+class TestReport:
+    def test_contains_every_section(self, report_text):
+        for heading in (
+            "# SimBench reproduction report",
+            "## Figure 4",
+            "## Figure 7",
+            "## Figure 2",
+            "## Figure 6",
+            "## Figure 8",
+            "## Figure 3",
+            "## Contribution 3",
+            "Section III-B.1",
+            "Section III-B.2",
+        ):
+            assert heading in report_text
+
+    def test_timestamp_injected(self, report_text):
+        assert "2026-07-06T00:00:00" in report_text
+
+    def test_daggers_and_dashes_present(self, report_text):
+        assert "(dagger)" in report_text
+
+    def test_write_report(self, tmp_path, report_text):
+        path = write_report(tmp_path / "r.md", scale=0.05)
+        assert path.exists()
+        assert path.read_text().startswith("# SimBench reproduction report")
+
+
+class TestRepeatedRuns:
+    def test_summary_statistics(self):
+        from repro.arch import ARM
+        from repro.core import Harness, get_benchmark
+        from repro.platform import VEXPRESS
+
+        harness = Harness()
+        results, summary = harness.run_benchmark_repeated(
+            get_benchmark("System Call"), "simit", ARM, VEXPRESS,
+            repeats=3, iterations=20,
+        )
+        assert len(results) == 3
+        assert summary["repeats"] == 3
+        # Modeled timing is deterministic: zero spread.
+        assert summary["stdev_ns"] == 0.0
+        assert summary["median_ns"] == results[0].kernel_ns
+
+    def test_invalid_repeats(self):
+        from repro.arch import ARM
+        from repro.core import Harness, get_benchmark
+        from repro.platform import VEXPRESS
+
+        harness = Harness()
+        with pytest.raises(ValueError):
+            harness.run_benchmark_repeated(
+                get_benchmark("System Call"), "simit", ARM, VEXPRESS, repeats=0
+            )
+
+    def test_failed_runs_summarised_as_none(self):
+        from repro.arch import X86
+        from repro.core import Harness, get_benchmark
+        from repro.platform import PCPLAT
+
+        harness = Harness()
+        results, summary = harness.run_benchmark_repeated(
+            get_benchmark("Nonprivileged Access"), "simit", X86, PCPLAT, repeats=2
+        )
+        assert summary is None
+        assert all(res.status == "not-applicable" for res in results)

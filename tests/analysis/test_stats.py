@@ -1,0 +1,64 @@
+"""Statistics helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import geomean, speedups_vs_baseline, weighted_geomean_speedup
+
+_POS = st.floats(min_value=0.01, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestGeomean:
+    def test_single(self):
+        assert geomean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(values=st.lists(_POS, min_size=1, max_size=20))
+    def test_bounded_by_min_max(self, values):
+        result = geomean(values)
+        assert min(values) <= result * (1 + 1e-9)
+        assert result <= max(values) * (1 + 1e-9)
+
+    @given(values=st.lists(_POS, min_size=1, max_size=10), factor=_POS)
+    def test_scale_invariance(self, values, factor):
+        scaled = geomean([v * factor for v in values])
+        assert scaled == pytest.approx(geomean(values) * factor, rel=1e-6)
+
+
+class TestSpeedups:
+    def test_baseline_is_one(self):
+        speedups = speedups_vs_baseline({"a": 2.0, "b": 1.0}, "a")
+        assert speedups["a"] == pytest.approx(1.0)
+        assert speedups["b"] == pytest.approx(2.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedups_vs_baseline({"a": 0.0}, "a")
+
+
+class TestWeightedGeomean:
+    def test_overall_rating(self):
+        series = {"x": [2.0, 1.0], "y": [4.0, 4.0]}
+        result = weighted_geomean_speedup(series)
+        assert result[0] == pytest.approx(1.0)
+        assert result[1] == pytest.approx(math.sqrt(2.0))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_geomean_speedup({"x": [1.0], "y": [1.0, 2.0]})
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            weighted_geomean_speedup({})

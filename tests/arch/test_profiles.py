@@ -1,0 +1,200 @@
+"""Architecture-profile tests: boot emission, MMU setup, arch ops."""
+
+import pytest
+
+from repro.arch import ARCHES, ARM, X86, get_arch
+from repro.arch.base import AsmWriter, Region
+from repro.isa.assembler import assemble
+from repro.machine import Board
+from repro.machine.mmu import AP_USER_RW
+from repro.platform import PCPLAT, PLATFORMS, VEXPRESS, get_platform
+from repro.sim import FastInterpreter
+
+
+def boot_and_run(arch, platform, body, extra_regions=(), max_insns=500_000):
+    """Boot with the arch package (MMU on) and run ``body``."""
+    w = AsmWriter()
+    w.emit(".org 0x%08x" % platform.layout.vector_base)
+    for _ in range(6):
+        w.emit("    b _start")
+    w.emit(".org 0x%08x" % platform.layout.code_base)
+    w.emit("_start:")
+    layout = platform.layout
+    dev_base, dev_size = platform.device_region
+    regions = [
+        Region(layout.ram_base, layout.ram_base, 1 << 20, ap=AP_USER_RW),
+        Region(layout.data_base, layout.data_base, 1 << 20, ap=AP_USER_RW, xn=True),
+        Region(dev_base, dev_base, dev_size, xn=True),
+    ] + list(extra_regions)
+    arch.emit_boot(w, platform, regions)
+    w.emit(body)
+    board = Board(platform)
+    board.load(assemble(w.text))
+    engine = FastInterpreter(board, arch=arch)
+    result = engine.run(max_insns=max_insns)
+    return engine, board, result
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_arch("arm") is ARM
+        assert get_arch("x86") is X86
+        with pytest.raises(KeyError):
+            get_arch("mips")
+        assert set(ARCHES) == {"arm", "x86"}
+
+    def test_platform_lookup(self):
+        assert get_platform("vexpress") is VEXPRESS
+        assert get_platform("pcplat") is PCPLAT
+        with pytest.raises(KeyError):
+            get_platform("nonesuch")
+        assert set(PLATFORMS) == {"vexpress", "pcplat"}
+
+
+@pytest.mark.parametrize(
+    "arch,platform",
+    [(ARM, VEXPRESS), (X86, PCPLAT)],
+    ids=["arm", "x86"],
+)
+class TestBoot:
+    def test_mmu_enabled_and_code_runs(self, arch, platform):
+        engine, board, result = boot_and_run(
+            arch, platform, "    movi r4, 99\n    halt #0\n"
+        )
+        assert result.halted_ok
+        assert board.cp15.mmu_enabled
+        assert board.cpu.regs[4] == 99
+
+    def test_translated_data_access(self, arch, platform):
+        body = """
+    li r1, 0x%08x
+    li r2, 0xfeedface
+    str r2, [r1]
+    ldr r3, [r1]
+    halt #0
+""" % platform.layout.data_base
+        _e, board, result = boot_and_run(arch, platform, body)
+        assert result.halted_ok
+        assert board.cpu.regs[3] == 0xFEEDFACE
+        # The store really went to the identity-mapped physical page.
+        assert board.memory.read32(platform.layout.data_base) == 0xFEEDFACE
+
+    def test_unmapped_access_faults_to_vector(self, arch, platform):
+        # Default vectors all branch to _start, which would loop; use a
+        # dedicated program where the data-abort handler halts.
+        w = AsmWriter()
+        layout = platform.layout
+        w.emit(".org 0x%08x" % layout.vector_base)
+        w.emit("    b _start")
+        w.emit("    b bad")
+        w.emit("    b bad")
+        w.emit("    b bad")
+        w.emit("    b dabort")
+        w.emit("    b bad")
+        w.emit(".org 0x%08x" % layout.code_base)
+        w.emit("_start:")
+        dev_base, dev_size = platform.device_region
+        regions = [
+            Region(layout.ram_base, layout.ram_base, 1 << 20, ap=AP_USER_RW),
+            Region(dev_base, dev_base, dev_size, xn=True),
+        ]
+        arch.emit_boot(w, platform, regions)
+        w.emit("    li r1, 0x%08x" % layout.unmapped_vaddr)
+        w.emit("    ldr r0, [r1]")
+        w.emit("    halt #2")
+        w.emit("bad:")
+        w.emit("    halt #1")
+        w.emit("dabort:")
+        w.emit("    halt #0")
+        board = Board(platform)
+        board.load(assemble(w.text))
+        engine = FastInterpreter(board, arch=arch)
+        result = engine.run(max_insns=500_000)
+        assert result.exit_reason.value == "halt"
+        assert result.halt_code == 0
+        assert engine.counters.data_aborts == 1
+
+    def test_device_access_through_mmu(self, arch, platform):
+        body = """
+    li r1, 0x%08x
+    ldr r2, [r1]
+    halt #0
+""" % platform.safedev_base
+        _e, board, result = boot_and_run(arch, platform, body)
+        assert result.halted_ok
+        assert board.cpu.regs[2] == board.safedev.ID_VALUE
+
+    def test_page_table_walk_depth(self, arch, platform):
+        """The ARM profile uses single-level sections for megabyte
+        regions; x86 always walks two levels."""
+        engine, _board, result = boot_and_run(
+            arch,
+            platform,
+            """
+    li r1, 0x%08x
+    ldr r2, [r1]
+    halt #0
+""" % platform.layout.data_base,
+        )
+        assert result.halted_ok
+        counters = engine.counters
+        assert counters.tlb_misses > 0
+        ratio = counters.ptw_levels / counters.tlb_misses
+        if arch.use_sections:
+            assert ratio == pytest.approx(1.0)
+        else:
+            assert ratio == pytest.approx(2.0)
+
+
+class TestArchOps:
+    def test_arm_nonpriv_load_real(self):
+        w = AsmWriter()
+        assert ARM.emit_nonpriv_load(w, "r0", "r1") is True
+        assert any("ldrt" in line for line in w.lines)
+
+    def test_x86_nonpriv_is_noop(self):
+        w = AsmWriter()
+        assert X86.emit_nonpriv_load(w, "r0", "r1") is False
+        assert any("nop" in line for line in w.lines)
+        assert X86.supports_nonpriv is False
+
+    def test_safe_coproc_sequences_differ(self):
+        warm, wx86 = AsmWriter(), AsmWriter()
+        ARM.emit_coproc_safe_access(warm, "r0")
+        X86.emit_coproc_safe_access(wx86, "r0")
+        assert "mrc" in warm.text and "p15" in warm.text
+        assert "mcr" in wx86.text and "p1," in wx86.text
+
+    def test_feature_summaries(self):
+        assert "section" in ARM.feature_summary()["page tables"]
+        assert ARM.feature_summary()["nonprivileged access"] == "yes"
+        assert X86.feature_summary()["nonprivileged access"].startswith("no")
+
+    def test_trigger_and_ack_use_platform_line(self):
+        w = AsmWriter()
+        ARM.emit_trigger_swirq(w, PCPLAT)
+        assert "%d" % (1 << PCPLAT.swirq_line) in w.text
+
+
+class TestRegionValidation:
+    def test_unaligned_region_rejected(self):
+        with pytest.raises(Exception):
+            Region(0x10, 0x0, 0x1000)
+
+    def test_section_alignment_detection(self):
+        assert Region(0x0, 0x0, 1 << 20).is_section_aligned
+        assert not Region(0x1000, 0x0, 1 << 20).is_section_aligned
+        assert not Region(0x0, 0x0, 0x1000).is_section_aligned
+
+
+class TestAsmWriter:
+    def test_unique_labels(self):
+        w = AsmWriter()
+        assert w.label("x") != w.label("x")
+
+    def test_place_and_text(self):
+        w = AsmWriter()
+        label = w.label("t")
+        w.place(label)
+        w.emit("    nop")
+        assert w.text == "%s:\n    nop\n" % label

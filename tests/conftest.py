@@ -1,0 +1,25 @@
+"""Shared pytest fixtures for the test suite."""
+
+import pytest
+
+from repro.arch import ARM, X86
+from repro.machine import Board
+from repro.platform import PCPLAT, VEXPRESS
+
+
+@pytest.fixture
+def vexpress_board():
+    return Board(VEXPRESS)
+
+
+@pytest.fixture
+def pcplat_board():
+    return Board(PCPLAT)
+
+
+@pytest.fixture(params=["arm", "x86"], ids=["arm", "x86"])
+def arch_platform(request):
+    """(arch, platform) pairs, one per architecture profile."""
+    if request.param == "arm":
+        return ARM, VEXPRESS
+    return X86, PCPLAT

@@ -1,0 +1,111 @@
+"""ProgramBuilder tests: the three-phase bare-metal protocol."""
+
+import pytest
+
+from repro.arch import ARM, X86
+from repro.core.program import PHASE_KERNEL_DONE, PHASE_SETUP_DONE, ProgramBuilder
+from repro.machine import Board
+from repro.machine.cpu import ExceptionVector
+from repro.platform import PCPLAT, VEXPRESS
+from repro.sim import FastInterpreter
+
+
+def build_and_run(builder, platform, iterations=3, max_insns=500_000):
+    built = builder.build()
+    board = Board(platform)
+    board.load(built.program)
+    board.set_iterations(iterations)
+    engine = FastInterpreter(board, arch=builder.arch)
+    result = engine.run(max_insns=max_insns)
+    return engine, board, result
+
+
+@pytest.mark.parametrize(
+    "arch,platform", [(ARM, VEXPRESS), (X86, PCPLAT)], ids=["arm", "x86"]
+)
+class TestThreePhaseProtocol:
+    def test_phases_in_order(self, arch, platform):
+        builder = ProgramBuilder(arch, platform)
+        builder.kernel.emit("    addi r4, r4, 1")
+        _engine, board, result = build_and_run(builder, platform, iterations=5)
+        assert result.halted_ok
+        assert board.testctl.phases_seen == [PHASE_SETUP_DONE, PHASE_KERNEL_DONE]
+        assert board.cpu.regs[4] == 5
+
+    def test_zero_iterations_skips_kernel(self, arch, platform):
+        builder = ProgramBuilder(arch, platform)
+        builder.kernel.emit("    addi r4, r4, 1")
+        _engine, board, result = build_and_run(builder, platform, iterations=0)
+        assert result.halted_ok
+        assert board.cpu.regs[4] == 0
+        assert board.testctl.phases_seen == [PHASE_SETUP_DONE, PHASE_KERNEL_DONE]
+
+    def test_setup_and_cleanup_run_once(self, arch, platform):
+        builder = ProgramBuilder(arch, platform)
+        builder.setup.emit("    addi r11, r11, 1")
+        builder.cleanup.emit("    addi r12, r12, 1")
+        builder.kernel.emit("    nop")
+        _engine, board, result = build_and_run(builder, platform, iterations=4)
+        assert result.halted_ok
+        assert board.cpu.regs[11] == 1
+        assert board.cpu.regs[12] == 1
+
+    def test_mmu_enabled_by_default(self, arch, platform):
+        builder = ProgramBuilder(arch, platform)
+        builder.kernel.emit("    nop")
+        _engine, board, result = build_and_run(builder, platform)
+        assert result.halted_ok
+        assert board.cp15.mmu_enabled
+
+    def test_mmu_can_be_disabled(self, arch, platform):
+        builder = ProgramBuilder(arch, platform, enable_mmu=False)
+        builder.kernel.emit("    nop")
+        _engine, board, result = build_and_run(builder, platform)
+        assert result.halted_ok
+        assert not board.cp15.mmu_enabled
+
+    def test_unexpected_exception_halts_with_marker(self, arch, platform):
+        builder = ProgramBuilder(arch, platform)
+        builder.kernel.emit("    und")  # no handler installed
+        _engine, _board, result = build_and_run(builder, platform, iterations=1)
+        assert result.halt_code == 0xEE
+
+    def test_vector_override(self, arch, platform):
+        builder = ProgramBuilder(arch, platform)
+        builder.override_vector(ExceptionVector.UNDEF, ".my_undef")
+        builder.kernel.emit("    und")
+        builder.handlers.emit(".my_undef:")
+        builder.handlers.emit("    addi r9, r9, 1")
+        builder.handlers.emit("    sret")
+        _engine, board, result = build_and_run(builder, platform, iterations=6)
+        assert result.halted_ok
+        assert board.cpu.regs[9] == 6
+
+    def test_extra_region_mapped(self, arch, platform):
+        layout = platform.layout
+        builder = ProgramBuilder(arch, platform)
+        builder.add_region(layout.cold_base, layout.cold_base, 0x4000)
+        builder.kernel.emit("    li r0, 0x%08x" % layout.cold_base)
+        builder.kernel.emit("    ldr r1, [r0, #0x2000]")
+        _engine, _board, result = build_and_run(builder, platform)
+        assert result.halted_ok
+
+    def test_iterations_visible_to_guest(self, arch, platform):
+        builder = ProgramBuilder(arch, platform)
+        builder.kernel.emit("    mov r5, r10")  # remaining count
+        _engine, board, result = build_and_run(builder, platform, iterations=9)
+        assert result.halted_ok
+        assert board.cpu.regs[5] == 1  # last iteration sees 1 remaining
+
+
+class TestBuilderUtilities:
+    def test_unique_labels(self):
+        builder = ProgramBuilder(ARM, VEXPRESS)
+        assert builder.label() != builder.label()
+
+    def test_source_is_recorded(self):
+        builder = ProgramBuilder(ARM, VEXPRESS)
+        builder.kernel.emit("    nop")
+        built = builder.build()
+        assert ".kernel_loop:" in built.source
+        assert built.arch is ARM

@@ -1,0 +1,175 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.decoder import decode
+from repro.isa.encoding import Cond, Op
+
+
+def words(program):
+    seg = program.segments[0]
+    return [
+        int.from_bytes(seg.data[i : i + 4], "little") for i in range(0, len(seg.data), 4)
+    ]
+
+
+class TestDirectives:
+    def test_org_sets_base(self):
+        prog = assemble(".org 0x8000\n_start:\n    nop\n")
+        assert prog.segments[0].base == 0x8000
+        assert prog.entry == 0x8000
+
+    def test_word_literals(self):
+        prog = assemble(".word 1, 2, 0xdeadbeef\n")
+        assert words(prog) == [1, 2, 0xDEADBEEF]
+
+    def test_word_forward_reference(self):
+        prog = assemble(".word later\nlater:\n    nop\n")
+        assert words(prog)[0] == 4
+
+    def test_space(self):
+        prog = assemble(".space 8\n    nop\n")
+        assert len(prog.segments[0].data) == 12
+
+    def test_align(self):
+        prog = assemble("    nop\n.align 16\nhere:\n    nop\n")
+        assert prog.symbol("here") == 16
+
+    def test_page(self):
+        prog = assemble("    nop\n.page\nhere:\n    nop\n")
+        assert prog.symbol("here") == 4096
+
+    def test_equ(self):
+        prog = assemble(".equ BASE, 0x100\n    movi r0, BASE+4\n")
+        insn = decode(words(prog)[0])
+        assert insn.imm == 0x104
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 1\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\na:\n")
+
+    def test_overlapping_segments_rejected(self):
+        src = ".org 0x0\n.word 1, 2, 3, 4\n.org 0x4\n.word 9\n"
+        with pytest.raises(AssemblerError):
+            assemble(src)
+
+
+class TestInstructions:
+    def test_alu_reg(self):
+        insn = decode(words(assemble("    add r1, r2, r3\n"))[0])
+        assert (insn.op, insn.rd, insn.rn, insn.rm) == (Op.ADD, 1, 2, 3)
+
+    def test_alu_imm(self):
+        insn = decode(words(assemble("    subi r1, r1, 7\n"))[0])
+        assert (insn.op, insn.imm) == (Op.SUBI, 7)
+
+    def test_sp_lr_aliases(self):
+        insn = decode(words(assemble("    mov sp, lr\n"))[0])
+        assert (insn.rd, insn.rm) == (13, 14)
+
+    def test_memory_forms(self):
+        prog = assemble("    ldr r0, [r1]\n    str r2, [r3, #-8]\n")
+        a, b = [decode(w) for w in words(prog)]
+        assert (a.op, a.imm) == (Op.LDR, 0)
+        assert (b.op, b.imm) == (Op.STR, -8)
+
+    def test_li_emits_two_words(self):
+        prog = assemble("    li r4, 0x12345678\n")
+        a, b = [decode(w) for w in words(prog)]
+        assert (a.op, a.imm) == (Op.MOVI, 0x5678)
+        assert (b.op, b.imm) == (Op.MOVT, 0x1234)
+
+    def test_li_forward_symbol(self):
+        prog = assemble("    li r0, target\n    nop\ntarget:\n    nop\n")
+        a, b = [decode(w) for w in words(prog)[:2]]
+        value = a.imm | (b.imm << 16)
+        assert value == prog.symbol("target")
+
+    def test_branch_backward(self):
+        prog = assemble("loop:\n    nop\n    b loop\n")
+        insn = decode(words(prog)[1])
+        assert insn.op == Op.B and insn.imm == -2
+
+    def test_branch_forward(self):
+        prog = assemble("    beq out\n    nop\nout:\n    nop\n")
+        insn = decode(words(prog)[0])
+        assert insn.cond == Cond.EQ and insn.imm == 1
+
+    def test_all_cond_suffixes(self):
+        for suffix in ("eq", "ne", "lt", "ge", "le", "gt", "lo", "hs", "mi", "pl"):
+            prog = assemble("x:\n    b%s x\n" % suffix)
+            assert decode(words(prog)[0]).cond == Cond[suffix.upper()]
+
+    def test_indirect_branches(self):
+        prog = assemble("    br r5\n    blr r6\n")
+        a, b = [decode(w) for w in words(prog)]
+        assert (a.op, a.rn) == (Op.BR, 5)
+        assert (b.op, b.rn) == (Op.BLR, 6)
+
+    def test_system_ops(self):
+        prog = assemble("    swi #3\n    sret\n    halt #9\n    cps #1\n    wfi\n    und\n")
+        ops = [decode(w).op for w in words(prog)]
+        assert ops == [Op.SWI, Op.SRET, Op.HALT, Op.CPS, Op.WFI, Op.UND]
+
+    def test_coprocessor_ops(self):
+        prog = assemble("    mrc r1, p15, c3\n    mcr r2, p1, c1\n")
+        a, b = [decode(w) for w in words(prog)]
+        assert (a.op, a.rd, a.rn, a.imm) == (Op.MRC, 1, 15, 3)
+        assert (b.op, b.rd, b.rn, b.imm) == (Op.MCR, 2, 1, 1)
+
+    def test_comment_stripping(self):
+        prog = assemble("    nop ; trailing comment\n")
+        assert decode(words(prog)[0]).op == Op.NOP
+
+    def test_hash_is_not_a_comment(self):
+        prog = assemble("    ldr r0, [r1, #4]\n")
+        assert decode(words(prog)[0]).imm == 4
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("    frobnicate r0\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("    mov r99, r0\n")
+
+    def test_undefined_symbol_reported(self):
+        with pytest.raises(AssemblerError):
+            assemble("    b nowhere\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("    nop\n    bogus\n")
+        assert excinfo.value.line == 2
+
+
+class TestProgram:
+    def test_word_at(self):
+        prog = assemble(".org 0x100\n.word 0xabcd\n")
+        assert prog.word_at(0x100) == 0xABCD
+        with pytest.raises(KeyError):
+            prog.word_at(0x200)
+
+    def test_symbol_lookup_error(self):
+        prog = assemble("    nop\n")
+        with pytest.raises(KeyError):
+            prog.symbol("missing")
+
+    def test_multiple_segments_sorted(self):
+        prog = assemble(".org 0x2000\n    nop\n.org 0x1000\n    nop\n")
+        bases = [seg.base for seg in prog.segments]
+        assert bases == [0x1000, 0x2000]
+
+    def test_entry_defaults_to_first_segment(self):
+        prog = assemble(".org 0x500\n    nop\n")
+        assert prog.entry == 0x500
+
+    def test_size(self):
+        prog = assemble("    nop\n    nop\n")
+        assert prog.size == 8

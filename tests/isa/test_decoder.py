@@ -1,0 +1,128 @@
+"""Tests for the SRV32 decoder, including property-based round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError
+from repro.isa.decoder import DecodeCache, Instruction, decode
+from repro.isa.encoding import Cond, Op, VALID_OPCODES, encode
+
+_REG = st.integers(min_value=0, max_value=15)
+_IMM16 = st.integers(min_value=0, max_value=0xFFFF)
+_SIMM16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+_SIMM20 = st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)
+
+
+class TestDecodeBasics:
+    def test_alu_reg(self):
+        insn = decode(encode(Op.SUB, rd=1, rn=2, rm=3))
+        assert insn.op == Op.SUB
+        assert (insn.rd, insn.rn, insn.rm) == (1, 2, 3)
+        assert insn.is_alu_reg
+
+    def test_alu_imm(self):
+        insn = decode(encode(Op.ADDI, rd=4, rn=5, imm=100))
+        assert insn.op == Op.ADDI
+        assert insn.imm == 100
+        assert insn.is_alu_imm
+
+    def test_memory_offset_sign_extended(self):
+        insn = decode(encode(Op.STR, rd=0, rn=1, imm=-4))
+        assert insn.imm == -4
+        assert insn.is_store and insn.is_mem
+
+    def test_branch_fields(self):
+        insn = decode(encode(Op.B, imm=-5, cond=Cond.GT))
+        assert insn.cond == Cond.GT
+        assert insn.imm == -5
+        assert insn.is_direct_branch
+
+    def test_indirect_branch(self):
+        insn = decode(encode(Op.BR, rn=7))
+        assert insn.is_indirect_branch
+        assert insn.rn == 7
+
+    def test_nonpriv_classification(self):
+        assert decode(encode(Op.LDRT, rd=0, rn=1)).is_nonpriv
+        assert not decode(encode(Op.LDR, rd=0, rn=1)).is_nonpriv
+
+    def test_undefined_opcode_raises(self):
+        with pytest.raises(DecodeError):
+            decode(0x77_00_00_00)
+
+    def test_undefined_condition_raises(self):
+        bad = (int(Op.B) << 24) | (0xF << 20)
+        with pytest.raises(DecodeError):
+            decode(bad)
+
+    def test_equality_and_hash(self):
+        a = decode(encode(Op.NOP))
+        b = decode(encode(Op.NOP))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDecodeProperties:
+    @given(op=st.sampled_from(sorted({Op.ADD, Op.SUB, Op.MUL, Op.AND})), rd=_REG, rn=_REG, rm=_REG)
+    def test_alu_reg_roundtrip(self, op, rd, rn, rm):
+        insn = decode(encode(op, rd=rd, rn=rn, rm=rm))
+        assert (insn.op, insn.rd, insn.rn, insn.rm) == (op, rd, rn, rm)
+
+    @given(rd=_REG, rn=_REG, imm=_SIMM16)
+    def test_memory_roundtrip(self, rd, rn, imm):
+        insn = decode(encode(Op.LDR, rd=rd, rn=rn, imm=imm))
+        assert (insn.rd, insn.rn, insn.imm) == (rd, rn, imm)
+
+    @given(imm=_SIMM20, cond=st.sampled_from(sorted(Cond)))
+    def test_branch_roundtrip(self, imm, cond):
+        insn = decode(encode(Op.B, imm=imm, cond=cond))
+        assert (insn.imm, insn.cond) == (imm, cond)
+
+    @given(word=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_decode_total(self, word):
+        """decode either returns an Instruction or raises DecodeError --
+        never anything else."""
+        opbits = (word >> 24) & 0xFF
+        try:
+            insn = decode(word)
+        except DecodeError:
+            return
+        assert isinstance(insn, Instruction)
+        assert opbits in VALID_OPCODES
+
+
+class TestDecodeCache:
+    def test_hit_after_miss(self):
+        cache = DecodeCache()
+        word = encode(Op.ADDI, rd=1, rn=1, imm=1)
+        first = cache.lookup(0x1000, word)
+        second = cache.lookup(0x1000, word)
+        assert first is second
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_changed_word_misses(self):
+        cache = DecodeCache()
+        cache.lookup(0x1000, encode(Op.NOP))
+        insn = cache.lookup(0x1000, encode(Op.ADDI, rd=0, rn=0, imm=1))
+        assert insn.op == Op.ADDI
+        assert cache.misses == 2
+
+    def test_invalidate_page(self):
+        cache = DecodeCache()
+        cache.lookup(0x1000, encode(Op.NOP))
+        cache.lookup(0x1004, encode(Op.NOP))
+        cache.lookup(0x2000, encode(Op.NOP))
+        removed = cache.invalidate_page(0x1)
+        assert removed == 2
+        assert len(cache) == 1
+
+    def test_invalidate_absent_page(self):
+        cache = DecodeCache()
+        assert cache.invalidate_page(0x5) == 0
+
+    def test_capacity_flush(self):
+        cache = DecodeCache(capacity=2)
+        cache.lookup(0x1000, encode(Op.NOP))
+        cache.lookup(0x1004, encode(Op.NOP))
+        cache.lookup(0x1008, encode(Op.NOP))
+        assert len(cache) == 1

@@ -1,0 +1,94 @@
+"""Disassembler tests: spot checks plus an assemble/disassemble round trip."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_range
+from repro.isa.encoding import Cond, Op, encode
+
+
+class TestDisassemble:
+    def test_nop(self):
+        assert disassemble(encode(Op.NOP)) == "nop"
+
+    def test_alu(self):
+        assert disassemble(encode(Op.ADD, rd=1, rn=2, rm=3)) == "add r1, r2, r3"
+
+    def test_sp_lr_names(self):
+        assert disassemble(encode(Op.MOV, rd=13, rm=14)) == "mov sp, lr"
+
+    def test_memory_with_offset(self):
+        assert disassemble(encode(Op.LDR, rd=0, rn=1, imm=-4)) == "ldr r0, [r1, #-4]"
+
+    def test_memory_without_offset(self):
+        assert disassemble(encode(Op.STR, rd=2, rn=3)) == "str r2, [r3]"
+
+    def test_branch_with_pc(self):
+        text = disassemble(encode(Op.B, imm=1), pc=0x1000)
+        assert text == "b 0x00001008"
+
+    def test_conditional_branch(self):
+        text = disassemble(encode(Op.B, imm=0, cond=Cond.NE), pc=0x0)
+        assert text.startswith("bne ")
+
+    def test_undefined_word(self):
+        assert "undefined" in disassemble(0x7A000000)
+
+    def test_coprocessor(self):
+        assert disassemble(encode(Op.MRC, rd=0, rn=15, imm=3)) == "mrc r0, p15, c3"
+
+    def test_system(self):
+        assert disassemble(encode(Op.SWI, imm=7)) == "swi #7"
+        assert disassemble(encode(Op.HALT, imm=2)) == "halt #2"
+
+
+_SIMPLE_LINES = st.sampled_from(
+    [
+        "nop",
+        "add r1, r2, r3",
+        "subi r4, r4, 1",
+        "movi r0, 99",
+        "ldr r0, [r1, #8]",
+        "str r2, [sp, #-4]",
+        "br lr",
+        "swi #1",
+        "mrc r0, p15, c3",
+        "und",
+        "sret",
+    ]
+)
+
+
+class TestRoundTrip:
+    @given(lines=st.lists(_SIMPLE_LINES, min_size=1, max_size=20))
+    def test_disassembly_reassembles_to_same_words(self, lines):
+        source = "\n".join("    " + line for line in lines) + "\n"
+        prog = assemble(source)
+        seg = prog.segments[0]
+        first = [
+            int.from_bytes(seg.data[i : i + 4], "little")
+            for i in range(0, len(seg.data), 4)
+        ]
+        resource = "\n".join("    " + disassemble(w) for w in first) + "\n"
+        prog2 = assemble(resource)
+        seg2 = prog2.segments[0]
+        second = [
+            int.from_bytes(seg2.data[i : i + 4], "little")
+            for i in range(0, len(seg2.data), 4)
+        ]
+        assert first == second
+
+
+class TestDisassembleRange:
+    def test_labels_and_lines(self):
+        prog = assemble("_start:\n    nop\n    swi #1\n")
+        seg = prog.segments[0]
+
+        def read_word(addr):
+            off = addr - seg.base
+            return int.from_bytes(seg.data[off : off + 4], "little")
+
+        lines = disassemble_range(read_word, seg.base, 2, symbols=prog.symbols)
+        assert lines[0] == "_start:"
+        assert "nop" in lines[1]
+        assert "swi #1" in lines[2]

@@ -1,0 +1,119 @@
+"""Tests for SRV32 encodings and field packing."""
+
+import pytest
+
+from repro.isa.encoding import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    BLOCK_END_OPS,
+    BRANCH_OPS,
+    MEM_OPS,
+    NOP_WORD,
+    UND_WORD,
+    VALID_OPCODES,
+    Cond,
+    Op,
+    branch_offset,
+    branch_target,
+    encode,
+    sext,
+)
+
+
+class TestSext:
+    def test_positive(self):
+        assert sext(0x7F, 8) == 127
+
+    def test_negative(self):
+        assert sext(0xFF, 8) == -1
+
+    def test_sign_bit_only(self):
+        assert sext(0x80, 8) == -128
+
+    def test_zero(self):
+        assert sext(0, 16) == 0
+
+    def test_wide(self):
+        assert sext(0xFFFFF, 20) == -1
+        assert sext(0x7FFFF, 20) == 0x7FFFF
+
+
+class TestEncode:
+    def test_opcode_in_top_byte(self):
+        word = encode(Op.ADD, rd=1, rn=2, rm=3)
+        assert (word >> 24) == int(Op.ADD)
+
+    def test_register_fields(self):
+        word = encode(Op.ADD, rd=0xA, rn=0xB, rm=0xC)
+        assert (word >> 20) & 0xF == 0xA
+        assert (word >> 16) & 0xF == 0xB
+        assert (word >> 12) & 0xF == 0xC
+
+    def test_immediate_field(self):
+        word = encode(Op.MOVI, rd=3, imm=0xBEEF)
+        assert word & 0xFFFF == 0xBEEF
+
+    def test_negative_memory_offset(self):
+        word = encode(Op.LDR, rd=0, rn=1, imm=-8)
+        assert word & 0xFFFF == 0xFFF8
+
+    def test_branch_cond_field(self):
+        word = encode(Op.B, imm=-1, cond=Cond.NE)
+        assert (word >> 20) & 0xF == int(Cond.NE)
+        assert word & 0xFFFFF == 0xFFFFF
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode(Op.ADD, rd=16)
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode(Op.MOVI, rd=0, imm=1 << 16)
+
+    def test_branch_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode(Op.B, imm=1 << 19)
+
+    def test_memory_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode(Op.LDR, rd=0, rn=0, imm=1 << 15)
+
+    def test_nop_word_is_zero(self):
+        assert NOP_WORD == 0
+
+    def test_und_word_opcode(self):
+        assert (UND_WORD >> 24) == 0xFF
+
+
+class TestBranchMath:
+    def test_forward_target(self):
+        assert branch_target(0x1000, 0) == 0x1004
+
+    def test_backward_target(self):
+        assert branch_target(0x1000, -1) == 0x1000
+
+    def test_offset_roundtrip(self):
+        for pc, target in [(0x8000, 0x8000), (0x8000, 0x9000), (0x9000, 0x8004)]:
+            off = branch_offset(pc, target)
+            assert branch_target(pc, off) == target
+
+    def test_unaligned_target_rejected(self):
+        with pytest.raises(ValueError):
+            branch_offset(0x1000, 0x1002)
+
+
+class TestOpSets:
+    def test_sets_are_disjoint_where_expected(self):
+        assert not (ALU_REG_OPS & ALU_IMM_OPS)
+        assert not (MEM_OPS & BRANCH_OPS)
+
+    def test_block_end_contains_branches(self):
+        assert BRANCH_OPS <= BLOCK_END_OPS
+
+    def test_all_ops_valid(self):
+        for op in Op:
+            assert int(op) in VALID_OPCODES
+
+    def test_opcode_values_unique(self):
+        values = [int(op) for op in Op]
+        assert len(values) == len(set(values))

@@ -1,0 +1,177 @@
+"""A reference MiniC interpreter used as a differential-testing oracle.
+
+Evaluates the parsed AST directly in Python with the same unsigned
+32-bit semantics the code generator promises, so compiled-and-executed
+results can be checked against it.
+"""
+
+from repro.lang import ast
+
+MASK = 0xFFFFFFFF
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class Oracle:
+    """Executes a MiniC program AST in Python."""
+
+    def __init__(self, program, mmio=None):
+        self.program = program
+        self.functions = {f.name: f for f in program.functions}
+        self.globals = {}
+        self.mmio = mmio if mmio is not None else {}
+        self.console = bytearray()
+        for decl in program.globals:
+            if decl.size is not None:
+                self.globals[decl.name] = [0] * decl.size
+            else:
+                self.globals[decl.name] = (decl.init or 0) & MASK
+
+    def call(self, name, *args):
+        function = self.functions[name]
+        local_env = dict(zip(function.params, (a & MASK for a in args)))
+        try:
+            self._block(function.body, local_env)
+        except _Return as ret:
+            return ret.value & MASK
+        return 0
+
+    # -- statements ----------------------------------------------------
+    def _block(self, block, env):
+        for statement in block.statements:
+            self._statement(statement, env)
+
+    def _statement(self, node, env):
+        if isinstance(node, ast.LocalVar):
+            env[node.name] = self._expr(node.init, env) if node.init else 0
+        elif isinstance(node, ast.Assign):
+            value = self._expr(node.value, env)
+            if node.index is not None:
+                index = self._expr(node.index, env)
+                self.globals[node.target][index] = value
+            elif node.target in env:
+                env[node.target] = value
+            else:
+                self.globals[node.target] = value
+        elif isinstance(node, ast.If):
+            if self._expr(node.cond, env):
+                self._block(node.then, env)
+            elif node.otherwise is not None:
+                self._block(node.otherwise, env)
+        elif isinstance(node, ast.While):
+            while self._expr(node.cond, env):
+                try:
+                    self._block(node.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                self._statement(node.init, env)
+            while node.cond is None or self._expr(node.cond, env):
+                try:
+                    self._block(node.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if node.step is not None:
+                    self._statement(node.step, env)
+        elif isinstance(node, ast.Return):
+            raise _Return(self._expr(node.value, env) if node.value else 0)
+        elif isinstance(node, ast.Break):
+            raise _Break()
+        elif isinstance(node, ast.Continue):
+            raise _Continue()
+        elif isinstance(node, ast.ExprStatement):
+            self._expr(node.expr, env)
+        else:
+            raise AssertionError("unknown statement %r" % node)
+
+    # -- expressions -----------------------------------------------------
+    def _expr(self, node, env):
+        if isinstance(node, ast.Number):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.name in env:
+                return env[node.name]
+            value = self.globals[node.name]
+            return value if isinstance(value, int) else 0
+        if isinstance(node, ast.Index):
+            return self.globals[node.name][self._expr(node.index, env)]
+        if isinstance(node, ast.Call):
+            if node.name == "putc":
+                # putc evaluates to the written character (as compiled).
+                value = self._expr(node.args[0], env)
+                self.console.append(value & 0xFF)
+                return value & MASK
+            if node.name == "mmio_read":
+                return self.mmio.get(self._expr(node.args[0], env), 0)
+            if node.name == "mmio_write":
+                self.mmio[self._expr(node.args[0], env)] = self._expr(node.args[1], env)
+                return 0
+            return self.call(node.name, *(self._expr(a, env) for a in node.args))
+        if isinstance(node, ast.Unary):
+            value = self._expr(node.operand, env)
+            if node.op == "-":
+                return (-value) & MASK
+            if node.op == "~":
+                return (~value) & MASK
+            return 0 if value else 1
+        if isinstance(node, ast.Binary):
+            if node.op == "&&":
+                return 1 if self._expr(node.left, env) and self._expr(node.right, env) else 0
+            if node.op == "||":
+                return 1 if self._expr(node.left, env) or self._expr(node.right, env) else 0
+            left = self._expr(node.left, env)
+            right = self._expr(node.right, env)
+            return self._binary(node.op, left, right)
+        raise AssertionError("unknown expression %r" % node)
+
+    @staticmethod
+    def _binary(op, a, b):
+        if op == "+":
+            return (a + b) & MASK
+        if op == "-":
+            return (a - b) & MASK
+        if op == "*":
+            return (a * b) & MASK
+        if op == "/":
+            return a // b if b else 0
+        if op == "%":
+            return a % b if b else 0
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "<<":
+            return (a << (b & 31)) & MASK
+        if op == ">>":
+            return a >> (b & 31)
+        if op == "==":
+            return 1 if a == b else 0
+        if op == "!=":
+            return 1 if a != b else 0
+        if op == "<":
+            return 1 if a < b else 0
+        if op == "<=":
+            return 1 if a <= b else 0
+        if op == ">":
+            return 1 if a > b else 0
+        if op == ">=":
+            return 1 if a >= b else 0
+        raise AssertionError("unknown operator %r" % op)

@@ -1,0 +1,330 @@
+"""MiniC code-generation tests: compiled results vs the oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CompileError
+from repro.lang import compile_minic
+from repro.lang.parser import parse
+from tests.lang.oracle import Oracle
+from tests.lang.util import read_global, run_minic
+
+U16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestBasics:
+    def test_return_constant(self):
+        assert run_minic("func main() { return 42; }")[0] == 42
+
+    def test_implicit_return_zero(self):
+        assert run_minic("func main() { }")[0] == 0
+
+    def test_arguments(self):
+        assert run_minic("func main(a, b) { return a - b; }", args=(50, 8))[0] == 42
+
+    def test_locals(self):
+        src = "func main() { var x = 5; var y = x * 3; return y + x; }"
+        assert run_minic(src)[0] == 20
+
+    def test_global_scalar(self):
+        src = "var g = 7; func main() { g = g + 1; return g; }"
+        value, board = run_minic(src)
+        assert value == 8
+        assert read_global(board, src, "g") == 8
+
+    def test_global_array(self):
+        src = """
+var a[4];
+func main() {
+    var i = 0;
+    while (i < 4) { a[i] = i * i; i = i + 1; }
+    return a[3];
+}
+"""
+        value, board = run_minic(src)
+        assert value == 9
+        assert read_global(board, src, "a") == [0, 1, 4, 9]
+
+    def test_global_initialiser(self):
+        assert run_minic("var g = 123; func main() { return g; }")[0] == 123
+
+    def test_function_calls(self):
+        src = """
+func square(x) { return x * x; }
+func main() { return square(3) + square(4); }
+"""
+        assert run_minic(src)[0] == 25
+
+    def test_nested_calls_preserve_temporaries(self):
+        src = """
+func id(x) { return x; }
+func main() { return id(1) + id(2) + id(id(3)); }
+"""
+        assert run_minic(src)[0] == 6
+
+    def test_recursion(self):
+        src = """
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(10); }
+"""
+        assert run_minic(src)[0] == 55
+
+    def test_init_function_runs_in_setup(self):
+        src = """
+var g;
+func init() { g = 99; return 0; }
+func main() { return g; }
+"""
+        assert run_minic(src)[0] == 99
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "func main(x) { if (x > 10) { return 1; } else { return 2; } }"
+        assert run_minic(src, args=(11,))[0] == 1
+        assert run_minic(src, args=(10,))[0] == 2
+
+    def test_while_loop(self):
+        src = """
+func main() {
+    var total = 0;
+    var i = 1;
+    while (i <= 10) { total = total + i; i = i + 1; }
+    return total;
+}
+"""
+        assert run_minic(src)[0] == 55
+
+    def test_for_loop(self):
+        src = """
+func main() {
+    var total = 0;
+    for (var i = 0; i < 5; i = i + 1) { total = total + i; }
+    return total;
+}
+"""
+        assert run_minic(src)[0] == 10
+
+    def test_break_continue(self):
+        src = """
+func main() {
+    var total = 0;
+    for (var i = 0; i < 100; i = i + 1) {
+        if (i == 7) { break; }
+        if (i % 2 == 0) { continue; }
+        total = total + i;
+    }
+    return total;     // 1 + 3 + 5
+}
+"""
+        assert run_minic(src)[0] == 9
+
+    def test_short_circuit_and(self):
+        # The right side must not execute when the left is false.
+        src = """
+var hits;
+func bump() { hits = hits + 1; return 1; }
+func main(x) {
+    if (x && bump()) { }
+    return hits;
+}
+"""
+        assert run_minic(src, args=(0,))[0] == 0
+        assert run_minic(src, args=(1,))[0] == 1
+
+    def test_short_circuit_or(self):
+        src = """
+var hits;
+func bump() { hits = hits + 1; return 0; }
+func main(x) {
+    if (x || bump()) { }
+    return hits;
+}
+"""
+        assert run_minic(src, args=(1,))[0] == 0
+        assert run_minic(src, args=(0,))[0] == 1
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("7 + 8", 15),
+            ("7 - 8", 0xFFFFFFFF),
+            ("6 * 7", 42),
+            ("45 / 6", 7),
+            ("45 % 6", 3),
+            ("45 / 0", 0),
+            ("45 % 0", 0),
+            ("0xf0 & 0x3c", 0x30),
+            ("0xf0 | 0x0f", 0xFF),
+            ("0xff ^ 0x0f", 0xF0),
+            ("1 << 31", 0x80000000),
+            ("0x80000000 >> 31", 1),
+            ("3 < 4", 1),
+            ("4 <= 4", 1),
+            ("5 > 6", 0),
+            ("6 >= 6", 1),
+            ("7 == 7", 1),
+            ("7 != 7", 0),
+            ("-1", 0xFFFFFFFF),
+            ("~0", 0xFFFFFFFF),
+            ("!5", 0),
+            ("!0", 1),
+        ],
+    )
+    def test_constant_expressions(self, expr, expected):
+        assert run_minic("func main() { return %s; }" % expr)[0] == expected
+
+    def test_unsigned_comparison_semantics(self):
+        # 0xFFFFFFFF is huge unsigned, so it is NOT < 1.
+        assert run_minic("func main() { return (0 - 1) < 1; }")[0] == 0
+
+
+class TestPutc:
+    def test_console_output(self):
+        from repro.lang import compile_minic
+        from repro.isa.assembler import assemble
+        from repro.machine import Board
+        from repro.platform import VEXPRESS
+        from repro.sim import FastInterpreter
+        from repro.arch import ARM
+
+        src = """
+func main() {
+    var i = 65;
+    while (i < 70) { putc(i); i = i + 1; }
+    return 0;
+}
+"""
+        unit = compile_minic(src, uart_base=VEXPRESS.uart_base)
+        asm = (
+            ".org 0x8000\n_start:\n    li sp, 0x100000\n    bl .fn_main\n    halt #0\n"
+            + unit.text_asm
+            + unit.data_asm
+        )
+        board = Board(VEXPRESS)
+        board.load(assemble(asm))
+        FastInterpreter(board, arch=ARM).run(max_insns=10_000)
+        assert board.uart.text == "ABCDE"
+
+    def test_putc_without_console_rejected(self):
+        with pytest.raises(CompileError):
+            compile_minic("func main() { putc(65); }")  # no uart_base
+
+    def test_putc_matches_oracle(self):
+        from repro.lang.parser import parse
+
+        src = "func main() { putc(88); return putc(89); }"
+        oracle = Oracle(parse(src))
+        assert oracle.call("main") == 89
+        assert bytes(oracle.console) == b"XY"
+
+
+class TestIntrinsics:
+    def test_mmio_roundtrip(self):
+        src = """
+func main() {
+    mmio_write(0xf0002008, 77);   // safedev SCRATCH
+    return mmio_read(0xf0002008);
+}
+"""
+        value, board = run_minic(src)
+        assert value == 77
+        assert board.safedev.scratch == 77
+
+    def test_mmio_read_id(self):
+        src = "func main() { return mmio_read(0xf0002000); }"
+        value, board = run_minic(src)
+        assert value == board.safedev.ID_VALUE
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "func main() { return nothere; }",
+            "func main() { nothere = 1; }",
+            "func main() { return nofunc(); }",
+            "var a[4]; func main() { a = 1; }",
+            "var s; func main() { return s[0]; }",
+            "func f(a) { return a; } func main() { return f(1, 2); }",
+            "func main() { mmio_read(); }",
+            "var dup; var dup; func main() { }",
+            "func g() { } var g; func main() { }",
+            "func main() { break; }",
+            "func main() { continue; }",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(CompileError):
+            compile_minic(source)
+
+    def test_expression_too_deep(self):
+        expr = "1"
+        for _ in range(8):
+            expr = "(%s + (1 + (1 + 1)))" % expr
+        expr = "1"
+        for _ in range(8):
+            expr = "1 + (%s)" % expr  # right-nesting grows the register stack
+        deep = "func main() { return %s; }" % expr
+        # Depth > 6 must be a clean compile error, not bad code.
+        with pytest.raises(CompileError):
+            compile_minic(deep)
+
+
+class TestDifferentialVsOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(a=U16, b=U16, c=U16)
+    def test_random_arith_expressions(self, a, b, c):
+        source = """
+func main(a, b, c) {
+    var x = (a * 3 + b) ^ c;
+    var y = (x >> 3) + (b % (c + 1));
+    if (x < y) { x = x - y; } else { x = x + y; }
+    while (x > 0xffff) { x = x >> 1; }
+    return x + (y & 255);
+}
+"""
+        compiled, _board = run_minic(source, args=(a, b, c))
+        oracle = Oracle(parse(source))
+        assert compiled == oracle.call("main", a, b, c)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=U16, n=st.integers(min_value=1, max_value=24))
+    def test_random_array_churn(self, seed, n):
+        source = """
+var data[32];
+func main(seed, n) {
+    var i = 0;
+    var s = seed;
+    while (i < n) {
+        s = s * 1103515245 + 12345;
+        data[i %% 32] = s >> 16;
+        i = i + 1;
+    }
+    var acc = 0;
+    for (var j = 0; j < 32; j = j + 1) { acc = acc ^ data[j]; }
+    return acc;
+}
+""".replace("%%", "%")
+        compiled, _board = run_minic(source, args=(seed, n))
+        oracle = Oracle(parse(source))
+        assert compiled == oracle.call("main", seed, n)
+
+    @settings(max_examples=10, deadline=None)
+    @given(x=U16)
+    def test_logical_operators_match(self, x):
+        source = """
+func main(x) {
+    var a = (x > 100) && (x < 1000);
+    var b = (x == 0) || (x >= 0x8000);
+    return a * 2 + b;
+}
+"""
+        compiled, _board = run_minic(source, args=(x,))
+        oracle = Oracle(parse(source))
+        assert compiled == oracle.call("main", x)

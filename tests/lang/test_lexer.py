@@ -1,0 +1,84 @@
+"""MiniC lexer tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_numbers(self):
+        assert kinds("0 42 0x1f") == [("num", 0), ("num", 42), ("num", 31)]
+
+    def test_number_wraps_to_32_bits(self):
+        assert kinds("4294967296")[0] == ("num", 0)
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("var x while foo_1") == [
+            ("kw", "var"),
+            ("ident", "x"),
+            ("kw", "while"),
+            ("ident", "foo_1"),
+        ]
+
+    def test_maximal_munch_operators(self):
+        assert kinds("<<= >= == = <") == [
+            ("op", "<<"),
+            ("op", "="),
+            ("op", ">="),
+            ("op", "=="),
+            ("op", "="),
+            ("op", "<"),
+        ]
+
+    def test_all_single_operators(self):
+        source = "+ - * / % & | ^ ~ ! ( ) { } [ ] , ;"
+        assert all(kind == "op" for kind, _v in kinds(source))
+
+    def test_line_comments(self):
+        assert kinds("1 // comment\n2") == [("num", 1), ("num", 2)]
+
+    def test_block_comments(self):
+        assert kinds("1 /* x\ny */ 2") == [("num", 1), ("num", 2)]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_line_numbers_after_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestErrors:
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+    def test_malformed_hex(self):
+        with pytest.raises(CompileError):
+            tokenize("0x")
+
+    def test_malformed_number(self):
+        with pytest.raises(CompileError):
+            tokenize("12ab")
+
+
+class TestTokenType:
+    def test_equality(self):
+        assert Token("num", 1, 1) == Token("num", 1, 99)
+        assert Token("num", 1, 1) != Token("num", 2, 1)
+
+    def test_repr(self):
+        assert "num" in repr(Token("num", 1, 1))

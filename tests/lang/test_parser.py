@@ -1,0 +1,145 @@
+"""MiniC parser tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+def parse_expr(text):
+    program = parse("func main() { return %s; }" % text)
+    return program.functions[0].body.statements[0].value
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        program = parse("var a; var b[8]; var c = 7; func main() { }")
+        assert [g.name for g in program.globals] == ["a", "b", "c"]
+        assert program.globals[1].size == 8
+        assert program.globals[2].init == 7
+        assert program.functions[0].name == "main"
+
+    def test_params(self):
+        program = parse("func f(a, b, c) { }")
+        assert program.functions[0].params == ["a", "b", "c"]
+
+    def test_too_many_params(self):
+        with pytest.raises(CompileError):
+            parse("func f(a, b, c, d, e) { }")
+
+    def test_array_initialiser_rejected(self):
+        with pytest.raises(CompileError):
+            parse("var a[4] = 1;")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(CompileError):
+            parse("var a[0];")
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(CompileError):
+            parse("return 1;")
+
+
+class TestStatements:
+    def test_local_var(self):
+        program = parse("func f() { var x = 3; }")
+        stmt = program.functions[0].body.statements[0]
+        assert isinstance(stmt, ast.LocalVar)
+        assert stmt.init.value == 3
+
+    def test_local_array_rejected(self):
+        with pytest.raises(CompileError):
+            parse("func f() { var x[4]; }")
+
+    def test_assignment_forms(self):
+        program = parse("func f() { x = 1; a[2] = 3; }")
+        scalar, array = program.functions[0].body.statements
+        assert isinstance(scalar, ast.Assign) and scalar.index is None
+        assert isinstance(array, ast.Assign) and array.index.value == 2
+
+    def test_if_else_chain(self):
+        program = parse(
+            "func f(x) { if (x) { } else if (x == 1) { } else { } }"
+        )
+        node = program.functions[0].body.statements[0]
+        assert isinstance(node, ast.If)
+        nested = node.otherwise.statements[0]
+        assert isinstance(nested, ast.If)
+        assert nested.otherwise is not None
+
+    def test_while_and_for(self):
+        program = parse(
+            "func f() { while (1) { break; } for (var i = 0; i < 4; i = i + 1) { continue; } }"
+        )
+        loop, forloop = program.functions[0].body.statements
+        assert isinstance(loop, ast.While)
+        assert isinstance(loop.body.statements[0], ast.Break)
+        assert isinstance(forloop, ast.For)
+        assert isinstance(forloop.body.statements[0], ast.Continue)
+
+    def test_for_with_empty_clauses(self):
+        program = parse("func f() { for (;;) { break; } }")
+        node = program.functions[0].body.statements[0]
+        assert node.init is None and node.cond is None and node.step is None
+
+    def test_return_without_value(self):
+        program = parse("func f() { return; }")
+        assert program.functions[0].body.statements[0].value is None
+
+    def test_expression_statement(self):
+        program = parse("func f() { g(); } func g() { }")
+        assert isinstance(program.functions[0].body.statements[0], ast.ExprStatement)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("func f() { x = 1 }")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        expr = parse_expr("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_logical_lowest(self):
+        expr = parse_expr("1 | 2 && 3")
+        assert expr.op == "&&"
+        assert expr.left.op == "|"
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 3
+
+    def test_unary_chain(self):
+        expr = parse_expr("!~-1")
+        assert expr.op == "!"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "-"
+
+    def test_call_and_index(self):
+        expr = parse_expr("f(1, g(2)) + a[3]")
+        assert expr.left.name == "f"
+        assert expr.left.args[1].name == "g"
+        assert expr.right.name == "a"
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(CompileError):
+            parse_expr("(1 + 2")
+
+    def test_error_line_number(self):
+        with pytest.raises(CompileError) as excinfo:
+            parse("func f() {\n  x = ;\n}")
+        assert excinfo.value.line == 2

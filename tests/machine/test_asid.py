@@ -1,0 +1,124 @@
+"""ASID-tagged TLB and CP15 ASID register tests."""
+
+import pytest
+
+from repro.machine.coprocessor import CP15_ASID, CoprocessorFile
+from repro.machine.cpu import CPUState
+from repro.machine.mmu import TranslationResult
+from repro.machine.tlb import ASIDTaggedTLB
+
+
+def entry(vpage, ppage=None):
+    if ppage is None:
+        ppage = vpage
+    return TranslationResult(
+        paddr=ppage << 12,
+        vpage=vpage << 12,
+        ppage=ppage << 12,
+        page_size=4096,
+        ap=2,
+        xn=False,
+        levels=1,
+    )
+
+
+class TestCP15Asid:
+    def test_read_write(self):
+        cops = CoprocessorFile(CPUState())
+        cops.write(15, CP15_ASID, 7)
+        assert cops.read(15, CP15_ASID) == 7
+
+    def test_masked_to_8_bits(self):
+        cops = CoprocessorFile(CPUState())
+        cops.write(15, CP15_ASID, 0x1FF)
+        assert cops.read(15, CP15_ASID) == 0xFF
+
+    def test_hook_invoked(self):
+        cops = CoprocessorFile(CPUState())
+        seen = []
+        cops.cp15.asid_hook = seen.append
+        cops.write(15, CP15_ASID, 3)
+        cops.write(15, CP15_ASID, 5)
+        assert seen == [3, 5]
+
+    def test_reset_clears(self):
+        cops = CoprocessorFile(CPUState())
+        cops.write(15, CP15_ASID, 3)
+        cops.reset()
+        assert cops.read(15, CP15_ASID) == 0
+
+
+class TestASIDTaggedTLB:
+    def test_entries_coexist_across_asids(self):
+        tlb = ASIDTaggedTLB(capacity=8)
+        tlb.current_asid = 1
+        tlb.insert(0x1000, entry(1, ppage=0x10))
+        tlb.current_asid = 2
+        tlb.insert(0x1000, entry(1, ppage=0x20))
+        assert tlb.lookup(0x1000).ppage == 0x20 << 12
+        tlb.current_asid = 1
+        assert tlb.lookup(0x1000).ppage == 0x10 << 12
+        assert len(tlb) == 2
+
+    def test_switch_does_not_hit_other_context(self):
+        tlb = ASIDTaggedTLB()
+        tlb.current_asid = 1
+        tlb.insert(0x1000, entry(1))
+        tlb.current_asid = 2
+        assert tlb.lookup(0x1000) is None
+
+    def test_invalidate_is_per_asid(self):
+        tlb = ASIDTaggedTLB()
+        tlb.current_asid = 1
+        tlb.insert(0x1000, entry(1))
+        tlb.current_asid = 2
+        tlb.insert(0x1000, entry(1))
+        tlb.invalidate(0x1000)  # current (2) only
+        assert tlb.lookup(0x1000) is None
+        tlb.current_asid = 1
+        assert tlb.lookup(0x1000) is not None
+
+    def test_invalidate_all_asids(self):
+        tlb = ASIDTaggedTLB()
+        for asid in (1, 2, 3):
+            tlb.current_asid = asid
+            tlb.insert(0x1000, entry(1))
+            tlb.insert(0x2000, entry(2))
+        assert tlb.invalidate_all_asids(0x1000) == 3
+        assert len(tlb) == 3  # the 0x2000 entries survive
+
+    def test_flush_clears_everything(self):
+        tlb = ASIDTaggedTLB()
+        tlb.current_asid = 1
+        tlb.insert(0x1000, entry(1))
+        tlb.current_asid = 2
+        tlb.insert(0x2000, entry(2))
+        tlb.flush()
+        assert len(tlb) == 0
+
+    def test_capacity_shared_across_asids(self):
+        tlb = ASIDTaggedTLB(capacity=3)
+        for asid in (1, 2):
+            tlb.current_asid = asid
+            tlb.insert(0x1000, entry(1))
+            tlb.insert(0x2000, entry(2))
+        assert len(tlb) == 3
+        assert tlb.evictions == 1
+
+    def test_entries_for_asid(self):
+        tlb = ASIDTaggedTLB()
+        tlb.current_asid = 5
+        tlb.insert(0x1000, entry(1))
+        tlb.insert(0x2000, entry(2))
+        tlb.current_asid = 6
+        tlb.insert(0x1000, entry(1))
+        assert tlb.entries_for_asid(5) == 2
+        assert tlb.entries_for_asid(6) == 1
+
+    def test_contains_respects_asid(self):
+        tlb = ASIDTaggedTLB()
+        tlb.current_asid = 1
+        tlb.insert(0x7000, entry(7))
+        assert 0x7000 in tlb
+        tlb.current_asid = 2
+        assert 0x7000 not in tlb

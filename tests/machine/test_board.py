@@ -1,0 +1,48 @@
+"""Board assembly tests."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.machine import Board
+from repro.platform import PCPLAT, VEXPRESS
+
+
+class TestBoard:
+    def test_devices_mapped_at_platform_addresses(self, vexpress_board):
+        board = vexpress_board
+        for base, device in (
+            (VEXPRESS.uart_base, board.uart),
+            (VEXPRESS.testctl_base, board.testctl),
+            (VEXPRESS.safedev_base, board.safedev),
+            (VEXPRESS.timer_base, board.timer),
+            (VEXPRESS.intc_base, board.intc),
+        ):
+            assert board.device_for(base) is device
+
+    def test_pcplat_distinct_map(self, pcplat_board):
+        assert pcplat_board.device_for(PCPLAT.uart_base) is pcplat_board.uart
+        assert pcplat_board.device_for(VEXPRESS.uart_base) is None
+
+    def test_ram_size(self, vexpress_board):
+        region = vexpress_board.memory.find_ram(0x0, 4)
+        assert region.size == VEXPRESS.ram_size
+
+    def test_load_program(self, vexpress_board):
+        prog = assemble(".org 0x8000\n_start:\n    nop\n")
+        vexpress_board.load(prog)
+        assert vexpress_board.cpu.pc == 0x8000
+        assert vexpress_board.memory.read32(0x8000) == 0
+
+    def test_set_iterations(self, vexpress_board):
+        vexpress_board.set_iterations(77)
+        assert vexpress_board.testctl.iterations == 77
+
+    def test_reset_preserves_ram(self, vexpress_board):
+        vexpress_board.memory.write32(0x100, 42)
+        vexpress_board.cpu.regs[0] = 9
+        vexpress_board.reset()
+        assert vexpress_board.memory.read32(0x100) == 42
+        assert vexpress_board.cpu.regs[0] == 0
+
+    def test_cp15_accessor(self, vexpress_board):
+        assert vexpress_board.cp15 is vexpress_board.cops.cp15

@@ -1,0 +1,120 @@
+"""Coprocessor (CP15 / CP1) tests."""
+
+import pytest
+
+from repro.machine.coprocessor import (
+    CP15_DACR,
+    CP15_DEVID,
+    CP15_ELR,
+    CP15_FSR,
+    CP15_SCTLR,
+    CP15_SPSR,
+    CP15_TLBFLUSH,
+    CP15_TLBIMVA,
+    CP15_TTBR,
+    CP15_VBAR,
+    CP1_FPCR,
+    CP1_FPRESET,
+    CoprocessorFile,
+    UndefinedCoprocessorAccess,
+)
+from repro.errors import MachineError
+from repro.machine.cpu import CPUState
+from repro.machine.mmu import Fault, FaultType
+
+
+@pytest.fixture
+def cops():
+    return CoprocessorFile(CPUState())
+
+
+class TestCP15:
+    def test_devid_read_only(self, cops):
+        assert cops.read(15, CP15_DEVID) == cops.cp15.devid
+        with pytest.raises(UndefinedCoprocessorAccess):
+            cops.write(15, CP15_DEVID, 1)
+
+    def test_sctlr_mmu_enable(self, cops):
+        assert not cops.cp15.mmu_enabled
+        cops.write(15, CP15_SCTLR, 1)
+        assert cops.cp15.mmu_enabled
+
+    def test_ttbr(self, cops):
+        cops.write(15, CP15_TTBR, 0x0010_0000)
+        assert cops.read(15, CP15_TTBR) == 0x0010_0000
+
+    def test_dacr_default_and_write(self, cops):
+        assert cops.read(15, CP15_DACR) == 0x1
+        cops.write(15, CP15_DACR, 0x5555)
+        assert cops.read(15, CP15_DACR) == 0x5555
+
+    def test_vbar_alignment(self, cops):
+        cops.write(15, CP15_VBAR, 0x4000)
+        assert cops.read(15, CP15_VBAR) == 0x4000
+        with pytest.raises(MachineError):
+            cops.write(15, CP15_VBAR, 0x4002)
+
+    def test_tlb_hooks(self, cops):
+        flushed = []
+        invalidated = []
+        cops.cp15.tlb_flush_hook = lambda: flushed.append(True)
+        cops.cp15.tlb_invalidate_hook = invalidated.append
+        cops.write(15, CP15_TLBFLUSH, 0)
+        cops.write(15, CP15_TLBIMVA, 0x1234)
+        assert flushed == [True]
+        assert invalidated == [0x1234]
+        assert cops.cp15.tlb_flush_ops == 1
+        assert cops.cp15.tlb_invalidate_ops == 1
+
+    def test_elr_spsr_proxy_cpu_state(self, cops):
+        cops.write(15, CP15_ELR, 0x8888)
+        cops.write(15, CP15_SPSR, 0x3)
+        assert cops.cp15._cpu.elr == 0x8888
+        assert cops.cp15._cpu.spsr == 0x3
+        assert cops.read(15, CP15_ELR) == 0x8888
+        assert cops.read(15, CP15_SPSR) == 0x3
+
+    def test_record_fault(self, cops):
+        fault = Fault(FaultType.PERMISSION, 0xDEAD0000, 1)
+        cops.cp15.record_fault(fault)
+        assert cops.read(15, CP15_FSR) == int(FaultType.PERMISSION)
+        assert cops.read(15, 5) == 0xDEAD0000
+
+    def test_undefined_register(self, cops):
+        with pytest.raises(UndefinedCoprocessorAccess):
+            cops.read(15, 200)
+
+
+class TestCP1:
+    def test_fpcr_roundtrip(self, cops):
+        cops.write(1, CP1_FPCR, 0x1234)
+        assert cops.read(1, CP1_FPCR) == 0x1234
+
+    def test_reset_restores_default(self, cops):
+        cops.write(1, CP1_FPCR, 0)
+        cops.write(1, CP1_FPRESET, 0)
+        assert cops.read(1, CP1_FPCR) == 0x037F
+        assert cops.cp1.resets == 1
+
+    def test_fpreset_not_readable(self, cops):
+        with pytest.raises(UndefinedCoprocessorAccess):
+            cops.read(1, CP1_FPRESET)
+
+
+class TestFile:
+    def test_unknown_coprocessor(self, cops):
+        with pytest.raises(UndefinedCoprocessorAccess):
+            cops.read(7, 0)
+        with pytest.raises(UndefinedCoprocessorAccess):
+            cops.write(7, 0, 1)
+
+    def test_values_masked_to_32_bits(self, cops):
+        cops.write(15, CP15_TTBR, 0x1_0000_0004)
+        assert cops.read(15, CP15_TTBR) == 4
+
+    def test_reset(self, cops):
+        cops.write(15, CP15_SCTLR, 1)
+        cops.write(1, CP1_FPCR, 0)
+        cops.reset()
+        assert not cops.cp15.mmu_enabled
+        assert cops.read(1, CP1_FPCR) == 0x037F

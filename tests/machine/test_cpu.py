@@ -1,0 +1,135 @@
+"""CPU state tests: flags, conditions, exception banking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.cpu import (
+    CPUState,
+    ExceptionVector,
+    Mode,
+    PSR_FLAG_C,
+    PSR_FLAG_N,
+    PSR_FLAG_V,
+    PSR_FLAG_Z,
+    PSR_IRQ_ENABLE,
+    PSR_MODE_KERNEL,
+)
+from repro.isa.encoding import Cond
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestFlags:
+    def test_zero_sets_z(self):
+        cpu = CPUState()
+        cpu.set_flags_sub(5, 5)
+        assert cpu.psr & PSR_FLAG_Z
+        assert cpu.psr & PSR_FLAG_C  # no borrow
+
+    def test_negative_sets_n(self):
+        cpu = CPUState()
+        cpu.set_flags_sub(1, 2)
+        assert cpu.psr & PSR_FLAG_N
+        assert not cpu.psr & PSR_FLAG_C  # borrow
+
+    def test_overflow_sets_v(self):
+        cpu = CPUState()
+        cpu.set_flags_sub(0x8000_0000, 1)
+        assert cpu.psr & PSR_FLAG_V
+
+    @given(a=U32, b=U32)
+    def test_condition_consistency(self, a, b):
+        """Conditions agree with Python's signed/unsigned comparisons."""
+        cpu = CPUState()
+        cpu.set_flags_sub(a, b)
+        signed_a = a - (1 << 32) if a & 0x80000000 else a
+        signed_b = b - (1 << 32) if b & 0x80000000 else b
+        assert cpu.condition_holds(Cond.EQ) == (a == b)
+        assert cpu.condition_holds(Cond.NE) == (a != b)
+        assert cpu.condition_holds(Cond.LT) == (signed_a < signed_b)
+        assert cpu.condition_holds(Cond.GE) == (signed_a >= signed_b)
+        assert cpu.condition_holds(Cond.LE) == (signed_a <= signed_b)
+        assert cpu.condition_holds(Cond.GT) == (signed_a > signed_b)
+        assert cpu.condition_holds(Cond.LO) == (a < b)
+        assert cpu.condition_holds(Cond.HS) == (a >= b)
+
+    def test_al_always_true(self):
+        assert CPUState().condition_holds(Cond.AL)
+
+    def test_bad_condition(self):
+        with pytest.raises(ValueError):
+            CPUState().condition_holds(15)
+
+    def test_set_nz(self):
+        cpu = CPUState()
+        cpu.set_nz(0)
+        assert cpu.psr & PSR_FLAG_Z
+        cpu.set_nz(0x80000000)
+        assert cpu.psr & PSR_FLAG_N
+        assert not cpu.psr & PSR_FLAG_Z
+
+
+class TestModes:
+    def test_reset_state(self):
+        cpu = CPUState()
+        assert cpu.mode is Mode.KERNEL
+        assert not cpu.irqs_enabled
+
+    def test_mode_flag(self):
+        cpu = CPUState()
+        cpu.psr &= ~PSR_MODE_KERNEL
+        assert cpu.mode is Mode.USER
+        assert not cpu.is_kernel
+
+
+class TestExceptionEntry:
+    def test_enter_banks_state(self):
+        cpu = CPUState()
+        cpu.psr = PSR_MODE_KERNEL | PSR_IRQ_ENABLE | PSR_FLAG_Z
+        cpu.pc = 0x9000
+        cpu.enter_exception(0x9004, 0x4000, ExceptionVector.SWI)
+        assert cpu.elr == 0x9004
+        assert cpu.spsr & PSR_IRQ_ENABLE
+        assert cpu.pc == 0x4000 + 4 * int(ExceptionVector.SWI)
+        # Kernel mode, IRQs masked, flags preserved.
+        assert cpu.is_kernel
+        assert not cpu.irqs_enabled
+        assert cpu.psr & PSR_FLAG_Z
+
+    def test_user_mode_entry_switches_to_kernel(self):
+        cpu = CPUState()
+        cpu.psr = 0  # user mode
+        cpu.enter_exception(0x100, 0x0, ExceptionVector.UNDEF)
+        assert cpu.is_kernel
+        assert cpu.spsr == 0
+
+    def test_exception_return_restores(self):
+        cpu = CPUState()
+        cpu.psr = PSR_MODE_KERNEL | PSR_IRQ_ENABLE
+        cpu.enter_exception(0x1234, 0x0, ExceptionVector.IRQ)
+        cpu.exception_return()
+        assert cpu.pc == 0x1234
+        assert cpu.irqs_enabled
+
+    def test_entry_clears_waiting(self):
+        cpu = CPUState()
+        cpu.waiting = True
+        cpu.enter_exception(0x0, 0x0, ExceptionVector.IRQ)
+        assert not cpu.waiting
+
+
+class TestSnapshots:
+    def test_snapshot_tuple(self):
+        cpu = CPUState()
+        cpu.regs[3] = 99
+        snap = cpu.snapshot()
+        assert snap[0][3] == 99
+
+    def test_reset(self):
+        cpu = CPUState()
+        cpu.regs[5] = 1
+        cpu.halted = True
+        cpu.reset(entry=0x8000)
+        assert cpu.regs[5] == 0
+        assert not cpu.halted
+        assert cpu.pc == 0x8000

@@ -1,0 +1,147 @@
+"""Device model tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.devices import (
+    InterruptController,
+    SafeDevice,
+    TimerDevice,
+    Uart,
+)
+from repro.machine.devices import TestControlDevice as CtlDevice  # avoid pytest collection
+
+
+class TestUart:
+    def test_output_capture(self):
+        uart = Uart()
+        for ch in b"hi":
+            uart.write(0x0, ch, 1)
+        assert uart.text == "hi"
+
+    def test_status_always_ready(self):
+        assert Uart().read(0x4, 4) == 1
+
+    def test_data_reads_zero(self):
+        assert Uart().read(0x0, 4) == 0
+
+    def test_reset_clears_output(self):
+        uart = Uart()
+        uart.write(0x0, 65, 1)
+        uart.reset()
+        assert uart.text == ""
+
+    def test_unknown_register(self):
+        with pytest.raises(MachineError):
+            Uart().read(0x40, 4)
+
+
+class TestTestControl:
+    def test_phase_callback(self):
+        dev = CtlDevice()
+        seen = []
+        dev.on_phase = seen.append
+        dev.write(0x0, 1, 4)
+        dev.write(0x0, 2, 4)
+        assert seen == [1, 2]
+        assert dev.phases_seen == [1, 2]
+
+    def test_phase_readback(self):
+        dev = CtlDevice()
+        assert dev.read(0x0, 4) == 0
+        dev.write(0x0, 7, 4)
+        assert dev.read(0x0, 4) == 7
+
+    def test_iterations_register(self):
+        dev = CtlDevice()
+        dev.iterations = 42
+        assert dev.read(0x4, 4) == 42
+
+    def test_scratch(self):
+        dev = CtlDevice()
+        dev.write(0x8, 0x1234, 4)
+        assert dev.read(0x8, 4) == 0x1234
+
+    def test_access_counting(self):
+        dev = CtlDevice()
+        dev.read(0x4, 4)
+        dev.write(0x0, 1, 4)
+        assert dev.reads == 1 and dev.writes == 1
+
+
+class TestSafeDevice:
+    def test_id_constant(self):
+        dev = SafeDevice()
+        assert dev.read(0x0, 4) == SafeDevice.ID_VALUE
+        assert dev.read(0x0, 4) == SafeDevice.ID_VALUE
+
+    def test_id_read_has_no_side_effects(self):
+        dev = SafeDevice()
+        before = (dev.led, dev.scratch)
+        dev.read(0x0, 4)
+        assert (dev.led, dev.scratch) == before
+
+    def test_led_write(self):
+        dev = SafeDevice()
+        dev.write(0x4, 0xFF, 4)
+        assert dev.read(0x4, 4) == 0xFF
+
+    def test_id_not_writable(self):
+        with pytest.raises(MachineError):
+            SafeDevice().write(0x0, 1, 4)
+
+
+class TestTimer:
+    def test_counts_from_source(self):
+        timer = TimerDevice()
+        ticks = [100]
+        timer.tick_source = lambda: ticks[0]
+        assert timer.read(0x0, 4) == 100
+        ticks[0] = 105
+        assert timer.read(0x0, 4) == 105
+
+    def test_disabled_reads_zero(self):
+        timer = TimerDevice()
+        timer.tick_source = lambda: 55
+        timer.write(0x4, 0, 4)
+        assert timer.read(0x0, 4) == 0
+
+    def test_no_source_reads_zero(self):
+        assert TimerDevice().read(0x0, 4) == 0
+
+
+class TestInterruptController:
+    def test_trigger_sets_pending(self):
+        intc = InterruptController()
+        intc.write(0x8, 0b100, 4)
+        assert intc.read(0x0, 4) == 0b100
+        assert intc.triggers == 1
+
+    def test_irq_requires_enable(self):
+        intc = InterruptController()
+        intc.write(0x8, 1, 4)
+        assert not intc.irq_asserted()
+        intc.write(0x4, 1, 4)
+        assert intc.irq_asserted()
+
+    def test_ack_clears(self):
+        intc = InterruptController()
+        intc.write(0x4, 0xF, 4)
+        intc.write(0x8, 0b11, 4)
+        intc.write(0xC, 0b01, 4)
+        assert intc.read(0x0, 4) == 0b10
+        assert intc.acks == 1
+
+    def test_multiple_lines_accumulate(self):
+        intc = InterruptController()
+        intc.write(0x8, 0b01, 4)
+        intc.write(0x8, 0b10, 4)
+        assert intc.read(0x0, 4) == 0b11
+
+    def test_reset(self):
+        intc = InterruptController()
+        intc.write(0x4, 1, 4)
+        intc.write(0x8, 1, 4)
+        intc.reset()
+        assert intc.pending == 0 and intc.enable == 0
+        assert not intc.irq_asserted()

@@ -1,0 +1,89 @@
+"""Physical memory and bus tests."""
+
+import pytest
+
+from repro.errors import BusError, MachineError
+from repro.machine.devices import SafeDevice
+from repro.machine.memory import PhysicalMemory
+
+
+@pytest.fixture
+def memory():
+    mem = PhysicalMemory()
+    mem.add_ram(0x0, 0x4000)
+    mem.add_ram(0x1_0000, 0x1000)
+    mem.add_device(0xF000_0000, 0x1000, SafeDevice())
+    return mem
+
+
+class TestRam:
+    def test_read_write_roundtrip(self, memory):
+        memory.write32(0x100, 0xDEADBEEF)
+        assert memory.read32(0x100) == 0xDEADBEEF
+
+    def test_little_endian(self, memory):
+        memory.write32(0x0, 0x04030201)
+        assert memory.read8(0x0) == 0x01
+        assert memory.read8(0x3) == 0x04
+
+    def test_byte_write_masks(self, memory):
+        memory.write8(0x10, 0x1FF)
+        assert memory.read8(0x10) == 0xFF
+
+    def test_second_region(self, memory):
+        memory.write32(0x1_0000, 7)
+        assert memory.read32(0x1_0000) == 7
+
+    def test_unaligned_region_rejected(self):
+        mem = PhysicalMemory()
+        with pytest.raises(MachineError):
+            mem.add_ram(0x10, 0x1000)
+
+    def test_overlapping_ram_rejected(self, memory):
+        with pytest.raises(MachineError):
+            memory.add_ram(0x1000, 0x1000)
+
+    def test_overlapping_device_rejected(self, memory):
+        with pytest.raises(MachineError):
+            memory.add_device(0xF000_0000, 0x1000, SafeDevice())
+
+    def test_bus_error_on_hole(self, memory):
+        with pytest.raises(BusError):
+            memory.read32(0x5000_0000)
+        with pytest.raises(BusError):
+            memory.write32(0x5000_0000, 1)
+
+    def test_find_ram_boundary(self, memory):
+        assert memory.find_ram(0x3FFC, 4) is not None
+        assert memory.find_ram(0x3FFE, 4) is None
+
+    def test_bulk_roundtrip(self, memory):
+        memory.write_bytes(0x200, b"hello world!")
+        assert memory.read_bytes(0x200, 12) == b"hello world!"
+
+    def test_bulk_outside_ram(self, memory):
+        with pytest.raises(BusError):
+            memory.write_bytes(0xF000_0000, b"xx")
+
+
+class TestDeviceRouting:
+    def test_device_read(self, memory):
+        assert memory.read32(0xF000_0000) == SafeDevice.ID_VALUE
+
+    def test_device_write(self, memory):
+        memory.write32(0xF000_0004, 0x55)
+        _base, _size, device = memory.find_device(0xF000_0004)
+        assert device.led == 0x55
+
+    def test_find_device_miss(self, memory):
+        assert memory.find_device(0xF000_1000) is None
+
+    def test_is_device(self, memory):
+        assert memory.is_device(0xF000_0000)
+        assert not memory.is_device(0x0)
+
+    def test_ram_write_hook(self, memory):
+        pages = []
+        memory.on_ram_write = pages.append
+        memory.write32(0x2010, 1)
+        assert pages == [0x2]

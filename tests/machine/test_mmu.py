@@ -1,0 +1,145 @@
+"""Page-table walker and translation tests."""
+
+import pytest
+
+from repro.machine.memory import PhysicalMemory
+from repro.machine.mmu import (
+    AccessType,
+    AP_KERNEL_RW,
+    AP_READ_ONLY,
+    AP_USER_RO,
+    AP_USER_RW,
+    Fault,
+    FaultType,
+    PageTableBuilder,
+    PageTableWalker,
+)
+
+TTBR = 0x0010_0000
+L2_POOL = 0x0010_8000
+
+
+@pytest.fixture
+def env():
+    memory = PhysicalMemory()
+    memory.add_ram(0x0, 0x0100_0000)
+    walker = PageTableWalker(memory)
+    builder = PageTableBuilder(memory, TTBR, L2_POOL)
+    return memory, walker, builder
+
+
+class TestSections:
+    def test_identity_section(self, env):
+        _memory, walker, builder = env
+        builder.map_section(0x0, 0x0)
+        result = walker.walk(TTBR, 0x1234, AccessType.READ, True)
+        assert result.paddr == 0x1234
+        assert result.levels == 1
+        assert result.page_size == 1 << 20
+
+    def test_section_offset_mapping(self, env):
+        _memory, walker, builder = env
+        builder.map_section(0x0020_0000, 0x0040_0000)
+        result = walker.walk(TTBR, 0x0020_4567, AccessType.READ, True)
+        assert result.paddr == 0x0040_4567
+
+    def test_unmapped_l1_faults(self, env):
+        _memory, walker, _builder = env
+        with pytest.raises(Fault) as excinfo:
+            walker.walk(TTBR, 0x0900_0000, AccessType.READ, True)
+        assert excinfo.value.fault_type == FaultType.TRANSLATION_L1
+
+    def test_narrow_produces_4k_view(self, env):
+        _memory, walker, builder = env
+        builder.map_section(0x0020_0000, 0x0040_0000)
+        result = walker.walk(TTBR, 0x0023_4ABC, AccessType.READ, True)
+        narrow = result.narrow(0x0023_4ABC)
+        assert narrow.page_size == 4096
+        assert narrow.vpage == 0x0023_4000
+        assert narrow.ppage == 0x0043_4000
+
+
+class TestCoarsePages:
+    def test_two_level_translation(self, env):
+        _memory, walker, builder = env
+        builder.map_page(0x0030_0000, 0x0050_0000)
+        result = walker.walk(TTBR, 0x0030_0123, AccessType.READ, True)
+        assert result.paddr == 0x0050_0123
+        assert result.levels == 2
+
+    def test_l2_hole_faults(self, env):
+        _memory, walker, builder = env
+        builder.map_page(0x0030_0000, 0x0050_0000)
+        with pytest.raises(Fault) as excinfo:
+            walker.walk(TTBR, 0x0030_1000, AccessType.READ, True)
+        assert excinfo.value.fault_type == FaultType.TRANSLATION_L2
+
+    def test_unmap_page(self, env):
+        _memory, walker, builder = env
+        builder.map_page(0x0030_0000, 0x0050_0000)
+        builder.unmap_page(0x0030_0000)
+        with pytest.raises(Fault):
+            walker.walk(TTBR, 0x0030_0000, AccessType.READ, True)
+
+    def test_narrow_is_identity_for_pages(self, env):
+        _memory, walker, builder = env
+        builder.map_page(0x0030_0000, 0x0050_0000)
+        result = walker.walk(TTBR, 0x0030_0000, AccessType.READ, True)
+        assert result.narrow(0x0030_0000) is result
+
+
+class TestPermissions:
+    @pytest.mark.parametrize(
+        "ap,access,kernel,allowed",
+        [
+            (AP_KERNEL_RW, AccessType.READ, True, True),
+            (AP_KERNEL_RW, AccessType.WRITE, True, True),
+            (AP_KERNEL_RW, AccessType.READ, False, False),
+            (AP_USER_RO, AccessType.READ, False, True),
+            (AP_USER_RO, AccessType.WRITE, False, False),
+            (AP_USER_RO, AccessType.WRITE, True, True),
+            (AP_USER_RW, AccessType.WRITE, False, True),
+            (AP_READ_ONLY, AccessType.WRITE, True, False),
+            (AP_READ_ONLY, AccessType.READ, False, True),
+        ],
+    )
+    def test_ap_matrix(self, env, ap, access, kernel, allowed):
+        _memory, walker, builder = env
+        builder.map_section(0x0060_0000, 0x0060_0000, ap=ap)
+        if allowed:
+            walker.walk(TTBR, 0x0060_0000, access, kernel)
+        else:
+            with pytest.raises(Fault) as excinfo:
+                walker.walk(TTBR, 0x0060_0000, access, kernel)
+            assert excinfo.value.fault_type == FaultType.PERMISSION
+
+    def test_execute_never(self, env):
+        _memory, walker, builder = env
+        builder.map_section(0x0060_0000, 0x0060_0000, xn=True)
+        with pytest.raises(Fault) as excinfo:
+            walker.walk(TTBR, 0x0060_0000, AccessType.EXECUTE, True)
+        assert excinfo.value.fault_type == FaultType.PERMISSION
+
+    def test_execute_allowed(self, env):
+        _memory, walker, builder = env
+        builder.map_section(0x0060_0000, 0x0060_0000, xn=False)
+        result = walker.walk(TTBR, 0x0060_0000, AccessType.EXECUTE, True)
+        assert not result.xn
+
+
+class TestWalkerAccounting:
+    def test_levels_walked(self, env):
+        _memory, walker, builder = env
+        builder.map_section(0x0, 0x0)
+        builder.map_page(0x0030_0000, 0x0050_0000)
+        walker.walk(TTBR, 0x100, AccessType.READ, True)
+        walker.walk(TTBR, 0x0030_0000, AccessType.READ, True)
+        assert walker.walks == 2
+        assert walker.levels_walked == 3
+
+    def test_bus_error_becomes_fault(self, env):
+        memory, walker, _builder = env
+        # Point TTBR outside RAM: the L1 fetch itself fails.
+        with pytest.raises(Fault) as excinfo:
+            walker.walk(0xF000_0000, 0x0, AccessType.READ, True)
+        assert excinfo.value.fault_type == FaultType.BUS

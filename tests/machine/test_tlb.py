@@ -1,0 +1,148 @@
+"""TLB model tests, including hypothesis invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.machine.mmu import TranslationResult
+from repro.machine.tlb import SetAssociativeTLB, SoftTLB
+
+
+def entry(vpage, ppage=None):
+    if ppage is None:
+        ppage = vpage
+    return TranslationResult(
+        paddr=ppage << 12,
+        vpage=vpage << 12,
+        ppage=ppage << 12,
+        page_size=4096,
+        ap=2,
+        xn=False,
+        levels=1,
+    )
+
+
+class TestSoftTLB:
+    def test_miss_then_hit(self):
+        tlb = SoftTLB(capacity=4)
+        assert tlb.lookup(0x1000) is None
+        tlb.insert(0x1000, entry(1))
+        assert tlb.lookup(0x1234) is not None
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_fifo_eviction_order(self):
+        tlb = SoftTLB(capacity=2)
+        tlb.insert(0x1000, entry(1))
+        tlb.insert(0x2000, entry(2))
+        tlb.insert(0x3000, entry(3))
+        assert tlb.lookup(0x1000) is None  # oldest evicted
+        assert tlb.lookup(0x2000) is not None
+        assert tlb.evictions == 1
+
+    def test_reinsert_does_not_evict(self):
+        tlb = SoftTLB(capacity=2)
+        tlb.insert(0x1000, entry(1))
+        tlb.insert(0x2000, entry(2))
+        tlb.insert(0x1000, entry(1))
+        assert tlb.evictions == 0
+        assert len(tlb) == 2
+
+    def test_invalidate(self):
+        tlb = SoftTLB()
+        tlb.insert(0x5000, entry(5))
+        assert tlb.invalidate(0x5abc)
+        assert not tlb.invalidate(0x5abc)
+        assert tlb.invalidations == 2
+
+    def test_flush(self):
+        tlb = SoftTLB()
+        tlb.insert(0x1000, entry(1))
+        tlb.insert(0x2000, entry(2))
+        tlb.flush()
+        assert len(tlb) == 0
+        assert tlb.flushes == 1
+
+    def test_invalidate_ppage(self):
+        tlb = SoftTLB()
+        tlb.insert(0x1000, entry(1, ppage=9))
+        tlb.insert(0x2000, entry(2, ppage=9))
+        tlb.insert(0x3000, entry(3, ppage=3))
+        assert tlb.invalidate_ppage(9 << 12) == 2
+        assert len(tlb) == 1
+
+    def test_contains(self):
+        tlb = SoftTLB()
+        tlb.insert(0x7000, entry(7))
+        assert 0x7fff in tlb
+        assert 0x8000 not in tlb
+
+    @given(
+        pages=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200),
+        capacity=st.integers(min_value=1, max_value=16),
+    )
+    def test_capacity_invariant(self, pages, capacity):
+        tlb = SoftTLB(capacity=capacity)
+        for page in pages:
+            tlb.insert(page << 12, entry(page))
+            assert len(tlb) <= capacity
+            # The most recently inserted page is always resident.
+            assert (page << 12) in tlb
+
+
+class TestSetAssociativeTLB:
+    def test_miss_then_hit(self):
+        tlb = SetAssociativeTLB(sets=4, ways=2)
+        assert tlb.lookup(0x1000) is None
+        tlb.insert(0x1000, entry(1))
+        assert tlb.lookup(0x1000) is not None
+
+    def test_conflict_eviction_lru(self):
+        tlb = SetAssociativeTLB(sets=4, ways=2)
+        # Pages 1, 5, 9 all map to set 1.
+        tlb.insert(0x1000, entry(1))
+        tlb.insert(0x5000, entry(5))
+        tlb.lookup(0x1000)  # make page 1 MRU
+        tlb.insert(0x9000, entry(9))
+        assert tlb.lookup(0x5000) is None  # LRU way evicted
+        assert tlb.lookup(0x1000) is not None
+        assert tlb.evictions == 1
+
+    def test_no_cross_set_interference(self):
+        tlb = SetAssociativeTLB(sets=4, ways=1)
+        tlb.insert(0x1000, entry(1))
+        tlb.insert(0x2000, entry(2))
+        assert tlb.lookup(0x1000) is not None
+        assert tlb.lookup(0x2000) is not None
+
+    def test_reinsert_updates(self):
+        tlb = SetAssociativeTLB(sets=2, ways=2)
+        tlb.insert(0x1000, entry(1))
+        tlb.insert(0x1000, entry(1, ppage=7))
+        assert len(tlb) == 1
+        assert tlb.lookup(0x1000).ppage == 7 << 12
+
+    def test_invalidate_and_flush(self):
+        tlb = SetAssociativeTLB(sets=2, ways=2)
+        tlb.insert(0x1000, entry(1))
+        tlb.insert(0x2000, entry(2))
+        assert tlb.invalidate(0x1000)
+        assert len(tlb) == 1
+        tlb.flush()
+        assert len(tlb) == 0
+
+    def test_invalidate_ppage(self):
+        tlb = SetAssociativeTLB(sets=2, ways=4)
+        tlb.insert(0x1000, entry(1, ppage=9))
+        tlb.insert(0x3000, entry(3, ppage=9))
+        assert tlb.invalidate_ppage(9 << 12) == 2
+
+    @given(
+        pages=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=150),
+        sets=st.integers(min_value=1, max_value=8),
+        ways=st.integers(min_value=1, max_value=4),
+    )
+    def test_way_capacity_invariant(self, pages, sets, ways):
+        tlb = SetAssociativeTLB(sets=sets, ways=ways)
+        for page in pages:
+            tlb.insert(page << 12, entry(page))
+        assert len(tlb) <= sets * ways
+        for bucket in tlb._sets:
+            assert len(bucket) <= ways

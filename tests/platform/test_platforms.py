@@ -1,0 +1,88 @@
+"""Platform-description tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.platform import PCPLAT, VEXPRESS
+from repro.platform.base import MemoryLayout, PlatformDescription
+
+_MB = 1 << 20
+
+
+def _layout(**overrides):
+    fields = dict(
+        ram_base=0x0,
+        ram_size=64 * _MB,
+        vector_base=0x4000,
+        code_base=0x8000,
+        stack_top=0x0010_0000,
+        l1_table=0x0100_0000,
+        l2_pool=0x0101_0000,
+        data_base=0x0200_0000,
+        cold_base=0x0280_0000,
+        unmapped_vaddr=0x2000_0000,
+    )
+    fields.update(overrides)
+    return MemoryLayout(**fields)
+
+
+class TestMemoryLayout:
+    def test_valid_layout(self):
+        layout = _layout()
+        assert layout.code_base == 0x8000
+
+    def test_region_outside_ram_rejected(self):
+        with pytest.raises(MachineError):
+            _layout(data_base=0x9000_0000)
+
+    def test_l1_alignment_enforced(self):
+        with pytest.raises(MachineError):
+            _layout(l1_table=0x0100_1000)
+
+    def test_unmapped_vaddr_must_be_outside_ram(self):
+        with pytest.raises(MachineError):
+            _layout(unmapped_vaddr=0x0010_0000)
+
+
+class TestPlatformDescription:
+    def test_device_windows_must_be_distinct_pages(self):
+        with pytest.raises(MachineError):
+            PlatformDescription(
+                name="bad",
+                layout=_layout(),
+                uart_base=0xF000_0000,
+                testctl_base=0xF000_0000,  # collides with the UART
+                safedev_base=0xF000_2000,
+                timer_base=0xF000_3000,
+                intc_base=0xF000_4000,
+            )
+
+    def test_device_region_covers_all_devices(self):
+        for platform in (VEXPRESS, PCPLAT):
+            base, size = platform.device_region
+            for addr in (
+                platform.uart_base,
+                platform.testctl_base,
+                platform.safedev_base,
+                platform.timer_base,
+                platform.intc_base,
+            ):
+                assert base <= addr < base + size
+            assert base % _MB == 0
+            assert size % _MB == 0
+
+    def test_builtin_platforms_differ(self):
+        assert VEXPRESS.uart_base != PCPLAT.uart_base
+        assert VEXPRESS.swirq_line != PCPLAT.swirq_line
+        assert VEXPRESS.layout.code_base != PCPLAT.layout.code_base
+
+    def test_convenience_accessors(self):
+        assert VEXPRESS.ram_base == VEXPRESS.layout.ram_base
+        assert VEXPRESS.ram_size == VEXPRESS.layout.ram_size
+
+    def test_stack_top_within_first_mapped_megabyte(self):
+        """The benchmark runtime maps [ram_base, ram_base+1MiB); the
+        stack must live inside it or handler pushes fault (regression
+        test for the original pcplat layout bug)."""
+        for platform in (VEXPRESS, PCPLAT):
+            assert platform.layout.stack_top <= platform.ram_base + _MB

@@ -1,0 +1,307 @@
+"""DBT engine structural tests: translation, chaining, SMC, caching."""
+
+import pytest
+
+from repro.arch import ARM
+from repro.isa.assembler import assemble
+from repro.machine import Board
+from repro.platform import VEXPRESS
+from repro.sim import DBTSimulator
+from repro.sim.dbt import DBTConfig, TranslationCache, TranslatedBlock
+from repro.sim.dbt.translator import Translator
+
+
+def run_dbt(body, config=None, max_insns=200_000):
+    source = ".org 0x8000\n_start:\n    li sp, 0x100000\n%s\n" % body
+    board = Board(VEXPRESS)
+    board.load(assemble(source))
+    engine = DBTSimulator(board, arch=ARM, config=config)
+    result = engine.run(max_insns=max_insns)
+    return engine, board, result
+
+
+class TestTranslation:
+    def test_blocks_translated_once_for_hot_loop(self):
+        engine, _board, res = run_dbt(
+            """
+    movi r1, 100
+loop:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop
+    halt #0
+"""
+        )
+        assert res.halted_ok
+        # Prologue block, loop block, exit block: a handful at most.
+        assert engine.counters.translations <= 4
+        assert engine.counters.block_executions >= 100
+
+    def test_block_never_crosses_page(self):
+        board = Board(VEXPRESS)
+        prog = assemble(".org 0x8ff8\n_start:\n" + "    nop\n" * 8 + "    halt #0\n")
+        board.load(prog)
+        engine = DBTSimulator(board, arch=ARM)
+        translator = Translator(engine.config)
+        block = translator.translate(board.memory, 0x8FF8, 0x8FF8)
+        assert block.insn_count == 2  # stops at the 0x9000 boundary
+
+    def test_max_block_insns(self):
+        board = Board(VEXPRESS)
+        prog = assemble(".org 0x8000\n_start:\n" + "    nop\n" * 100 + "    halt #0\n")
+        board.load(prog)
+        config = DBTConfig(max_block_insns=16)
+        translator = Translator(config)
+        block = translator.translate(board.memory, 0x8000, 0x8000)
+        assert block.insn_count == 16
+
+    def test_generated_source_recorded(self):
+        engine, _board, _res = run_dbt("    halt #0\n")
+        cache = engine.translation_cache
+        assert len(cache) >= 1
+
+
+class TestChaining:
+    def test_intra_page_loop_chains(self):
+        engine, _board, _res = run_dbt(
+            """
+    movi r1, 50
+loop:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop
+    halt #0
+"""
+        )
+        assert engine.counters.chain_follows > 40
+        # Chained transitions bypass the dispatcher.
+        assert engine.counters.slow_dispatches < 10
+
+    def test_chaining_disabled(self):
+        config = DBTConfig(chain_enabled=False)
+        engine, _board, _res = run_dbt(
+            """
+    movi r1, 50
+loop:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop
+    halt #0
+""",
+            config=config,
+        )
+        assert engine.counters.chain_follows == 0
+        assert engine.counters.slow_dispatches > 50
+
+    def test_cross_page_direct_branch_not_chained(self):
+        engine, _board, res = run_dbt(
+            """
+    movi r1, 30
+loop:
+    b far
+back:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop
+    halt #0
+.page
+far:
+    b back
+"""
+        )
+        assert res.halted_ok
+        # The loop <-> far transitions cross pages: all dispatched.
+        assert engine.counters.branches_direct_inter == 60
+        assert engine.counters.slow_dispatches >= 60
+
+    def test_cross_page_chaining_opt_in(self):
+        config = DBTConfig(chain_cross_page=True)
+        engine, _board, res = run_dbt(
+            """
+    movi r1, 30
+loop:
+    b far
+back:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop
+    halt #0
+.page
+far:
+    b back
+""",
+            config=config,
+        )
+        assert res.halted_ok
+        assert engine.counters.chain_follows > 50
+
+
+class TestSelfModifyingCode:
+    SMC_BODY = """
+    movi r5, 20
+outer:
+    li r0, patchme
+    li r1, 0
+    str r1, [r0]          ; rewrite the nop with a nop
+    bl patchme
+    subi r5, r5, 1
+    cmpi r5, 0
+    bne outer
+    halt #0
+.page
+patchme:
+    nop
+    addi r4, r4, 1
+    br lr
+"""
+
+    def test_rewrite_forces_retranslation(self):
+        engine, board, res = run_dbt(self.SMC_BODY)
+        assert res.halted_ok
+        assert board.cpu.regs[4] == 20
+        # Every iteration invalidates and retranslates the patched page.
+        assert engine.counters.smc_invalidations >= 19
+        assert engine.counters.translations >= 20
+        assert engine.counters.code_writes >= 19
+
+    def test_modified_code_takes_effect(self):
+        # Patch the first word of `f` from `movi r4, 1` to `movi r4, 2`.
+        engine, board, res = run_dbt(
+            """
+    bl f                   ; translate the original
+    mov r6, r4
+    li r0, f
+    li r1, 0x19400002      ; movi r4, 2
+    str r1, [r0]
+    bl f
+    halt #0
+.page
+f:
+    movi r4, 1
+    br lr
+"""
+        )
+        assert res.halted_ok
+        assert board.cpu.regs[6] == 1
+        assert board.cpu.regs[4] == 2
+
+
+class TestTranslationCache:
+    def test_insert_and_get(self):
+        cache = TranslationCache()
+        block = TranslatedBlock(0x1000, 0x1000, 4, fn=lambda s: None)
+        cache.insert(block)
+        assert cache.get(0x1000, 0x1000) is block
+        assert cache.get(0x1000, 0x2000) is None
+
+    def test_invalidate_page(self):
+        cache = TranslationCache()
+        a = TranslatedBlock(0x1000, 0x1000, 4, fn=None)
+        b = TranslatedBlock(0x1010, 0x1010, 4, fn=None)
+        c = TranslatedBlock(0x2000, 0x2000, 4, fn=None)
+        for block in (a, b, c):
+            cache.insert(block)
+        assert cache.invalidate_page(0x1) == 2
+        assert not a.valid and not b.valid and c.valid
+        assert cache.get(0x1000, 0x1000) is None
+        assert cache.get(0x2000, 0x2000) is c
+
+    def test_invalidation_clears_chain_slots(self):
+        a = TranslatedBlock(0x1000, 0x1000, 4, fn=None)
+        b = TranslatedBlock(0x1010, 0x1010, 4, fn=None)
+        a.set_succ(0, b)
+        b.invalidate()
+        assert b.succ_taken is None
+        assert not b.valid
+
+    def test_capacity_overflow_flushes_everything(self):
+        cache = TranslationCache(capacity=2)
+        blocks = [TranslatedBlock(0x1000 * i, 0x1000 * i, 1, fn=None) for i in range(1, 4)]
+        for block in blocks:
+            cache.insert(block)
+        assert cache.full_flushes == 1
+        assert len(cache) == 1
+
+    def test_reinsert_invalidates_old(self):
+        cache = TranslationCache()
+        old = TranslatedBlock(0x1000, 0x1000, 4, fn=None)
+        new = TranslatedBlock(0x1000, 0x1000, 4, fn=None)
+        cache.insert(old)
+        cache.insert(new)
+        assert not old.valid
+        assert cache.get(0x1000, 0x1000) is new
+
+
+class TestSoftmmuTLB:
+    def test_tlb_flush_resets_slots(self):
+        engine, _board, _res = run_dbt(
+            """
+    li r1, 0x2000000
+    ldr r0, [r1]
+    mcr r0, p15, c7
+    ldr r0, [r1]
+    halt #0
+"""
+        )
+        # MMU is off here, so no TLB traffic -- but the flush op counts.
+        assert engine.counters.tlb_flushes == 1
+
+    def test_direct_mapped_conflicts(self):
+        # Two pages whose vpage indices collide in a tiny 4-slot TLB.
+        config = DBTConfig(tlb_bits=2)
+        engine, _board, res = run_dbt(
+            """
+    li r0, 0x4000
+    mcr r0, p15, c6        ; VBAR (unused but harmless)
+    ; build page tables: one section mapping RAM 0..1MB identity
+    li r0, 0x1000000
+    li r1, 0x21           ; section entry, AP user RW? (AP=2: 0x20|0x1)
+    str r1, [r0]
+    li r1, 0x2000021      ; map vaddr 2MB -> 32MB region? keep identity:
+    li r0, 0x1000000      ; overwritten below
+    ; map sections for 0x00000000 and the two test pages' megabytes
+    li r0, 0x1000000
+    li r1, 0x0000021
+    str r1, [r0]
+    li r0, 0x1000008      ; L1 slot for 0x00200000
+    li r1, 0x0200021
+    str r1, [r0]
+    ; enable MMU
+    li r0, 0x1000000
+    mcr r0, p15, c2        ; TTBR
+    movi r0, 1
+    mcr r0, p15, c1        ; SCTLR
+    ; alternate accesses to 0x200000 and 0x204000 (vpages 0x200, 0x204
+    ; collide modulo 4)
+    li r1, 0x200000
+    li r2, 0x204000
+    movi r5, 16
+ping:
+    ldr r3, [r1]
+    ldr r3, [r2]
+    subi r5, r5, 1
+    cmpi r5, 0
+    bne ping
+    halt #0
+""",
+            config=config,
+        )
+        assert res.halted_ok
+        assert engine.counters.tlb_evictions >= 30
+        assert engine.counters.tlb_misses >= 31
+
+
+class TestDBTFeatureSummary:
+    def test_matches_figure4_row(self):
+        board = Board(VEXPRESS)
+        engine = DBTSimulator(board, arch=ARM)
+        summary = engine.feature_summary()
+        assert summary["Execution Model"] == "DBT"
+        assert summary["Control Flow (Intra-Page)"] == "Block Chaining"
+        assert summary["Control Flow (Inter-Page)"] == "Block Cache"
+        assert summary["Synchronous Exceptions"] == "Side Exit"
+
+    def test_chaining_off_changes_summary(self):
+        board = Board(VEXPRESS)
+        engine = DBTSimulator(board, arch=ARM, config=DBTConfig(chain_enabled=False))
+        assert engine.feature_summary()["Control Flow (Intra-Page)"] == "Block Cache"

@@ -1,0 +1,308 @@
+"""Exception, interrupt and privilege tests on every engine.
+
+These programs enable the MMU where relevant and install real vector
+tables, so they exercise the full delivery paths the Exception
+Handling benchmarks rely on.
+"""
+
+import pytest
+
+from repro.machine.cpu import ExceptionVector
+from repro.sim.base import ExitReason
+from tests.sim.util import ALL_ENGINES, run_asm
+
+VEC = """
+.org 0x4000
+    b _start          ; RESET
+    b undef_handler   ; UNDEF
+    b swi_handler     ; SWI
+    b pabort_handler  ; PREFETCH_ABORT
+    b dabort_handler  ; DATA_ABORT
+    b irq_handler     ; IRQ
+"""
+
+
+def run_with_vectors(engine_cls, body, handlers, max_insns=100_000):
+    """Run with a vector table at 0x4000 (VBAR set by the prologue)."""
+    source = (
+        VEC
+        + ".org 0x8000\n_start:\n    li sp, 0x100000\n"
+        + "    li r0, 0x4000\n    mcr r0, p15, c6\n"
+        + body
+        + "\n"
+        + handlers
+        + "\n"
+    )
+    from repro.isa.assembler import assemble
+    from repro.machine import Board
+    from repro.platform import VEXPRESS
+    from repro.arch import ARM
+
+    board = Board(VEXPRESS)
+    board.load(assemble(source))
+    engine = engine_cls(board, arch=ARM)
+    result = engine.run(max_insns=max_insns)
+    return engine, board, result
+
+
+DEFAULT_HANDLERS = """
+undef_handler:
+    halt #0xE1
+swi_handler:
+    halt #0xE2
+pabort_handler:
+    halt #0xE3
+dabort_handler:
+    halt #0xE4
+irq_handler:
+    halt #0xE5
+"""
+
+
+def handlers_with(**overrides):
+    text = []
+    for name, default in (
+        ("undef_handler", "    halt #0xE1"),
+        ("swi_handler", "    halt #0xE2"),
+        ("pabort_handler", "    halt #0xE3"),
+        ("dabort_handler", "    halt #0xE4"),
+        ("irq_handler", "    halt #0xE5"),
+    ):
+        text.append("%s:" % name)
+        text.append(overrides.get(name, default))
+    return "\n".join(text)
+
+
+@pytest.fixture(params=ALL_ENGINES, ids=[cls.name for cls in ALL_ENGINES])
+def engine_cls(request):
+    return request.param
+
+
+class TestSyscall:
+    def test_swi_enters_handler_and_returns(self, engine_cls):
+        _e, board, res = run_with_vectors(
+            engine_cls,
+            """
+    movi r1, 1
+    swi #42
+    movi r2, 2
+    halt #0
+""",
+            handlers_with(swi_handler="    movi r3, 9\n    sret"),
+        )
+        assert res.halted_ok
+        assert board.cpu.regs[1] == 1
+        assert board.cpu.regs[2] == 2
+        assert board.cpu.regs[3] == 9
+
+    def test_swi_counts(self, engine_cls):
+        engine, _board, _res = run_with_vectors(
+            engine_cls,
+            "    swi #1\n    swi #1\n    halt #0",
+            handlers_with(swi_handler="    sret"),
+        )
+        assert engine.counters.syscalls == 2
+
+
+class TestUndef:
+    def test_und_instruction(self, engine_cls):
+        engine, board, res = run_with_vectors(
+            engine_cls,
+            """
+    movi r1, 7
+    und
+    movi r2, 8
+    halt #0
+""",
+            handlers_with(undef_handler="    movi r4, 1\n    sret"),
+        )
+        assert res.halted_ok
+        assert board.cpu.regs[2] == 8
+        assert engine.counters.undefs == 1
+
+    def test_unknown_encoding_is_undef(self, engine_cls):
+        _e, board, res = run_with_vectors(
+            engine_cls,
+            """
+    .word 0x7b000000     ; not a valid opcode
+    movi r2, 5
+    halt #0
+""",
+            handlers_with(undef_handler="    sret"),
+        )
+        assert res.halted_ok
+        assert board.cpu.regs[2] == 5
+
+    def test_user_mode_privileged_op_is_undef(self, engine_cls):
+        # Drop to user mode, then try a privileged CPS.
+        _e, board, res = run_with_vectors(
+            engine_cls,
+            """
+    cps #0               ; switch to user mode
+    cps #1               ; privileged: must trap as UNDEF
+    halt #0xBB           ; skipped by the handler's halt
+""",
+            handlers_with(undef_handler="    halt #0xAA"),
+        )
+        assert res.exit_reason is ExitReason.HALT
+        assert res.halt_code == 0xAA
+
+    def test_undefined_coprocessor_is_undef(self, engine_cls):
+        _e, _board, res = run_with_vectors(
+            engine_cls,
+            "    mrc r0, p9, c0\n    halt #0xBB",
+            handlers_with(undef_handler="    halt #0xAA"),
+        )
+        assert res.halt_code == 0xAA
+
+
+class TestAborts:
+    def test_data_abort_records_fault_address(self, engine_cls):
+        engine, board, res = run_with_vectors(
+            engine_cls,
+            """
+    li r1, 0x70000000    ; physical hole: bus fault with MMU off
+    ldr r2, [r1]
+    halt #0xBB
+""",
+            handlers_with(dabort_handler="    mrc r5, p15, c5\n    halt #0xAC"),
+        )
+        assert res.halt_code == 0xAC
+        assert board.cpu.regs[5] == 0x70000000
+        assert engine.counters.data_aborts == 1
+
+    def test_data_abort_resume_skips_instruction(self, engine_cls):
+        _e, board, res = run_with_vectors(
+            engine_cls,
+            """
+    li r1, 0x70000000
+    ldr r2, [r1]
+    movi r3, 77
+    halt #0
+""",
+            handlers_with(
+                dabort_handler="""
+    mrc r8, p15, c10
+    addi r8, r8, 4
+    mcr r8, p15, c10
+    sret"""
+            ),
+        )
+        assert res.halted_ok
+        assert board.cpu.regs[3] == 77
+
+    def test_prefetch_abort_on_jump_to_hole(self, engine_cls):
+        engine, board, res = run_with_vectors(
+            engine_cls,
+            """
+    li r1, 0x70000000
+    blr r1
+    movi r3, 55
+    halt #0
+""",
+            handlers_with(
+                pabort_handler="    mcr lr, p15, c10\n    sret"
+            ),
+        )
+        assert res.halted_ok
+        assert board.cpu.regs[3] == 55
+        assert engine.counters.prefetch_aborts == 1
+
+
+class TestInterrupts:
+    def test_swirq_delivery_and_ack(self, engine_cls):
+        if engine_cls.name == "gem5":
+            pytest.skip("gem5 model lacks the software-trigger feature")
+        engine, board, res = run_with_vectors(
+            engine_cls,
+            """
+    li r1, 0xf0004004    ; INTC.ENABLE
+    movi r2, 1
+    str r2, [r1]
+    cps #3               ; kernel mode, IRQs on
+    li r1, 0xf0004008    ; INTC.TRIGGER
+    movi r2, 1
+    str r2, [r1]
+wait:
+    cmpi r6, 0           ; spin until the handler ran (block boundary
+    beq wait             ; per check, so every engine converges)
+    cps #1               ; IRQs off
+    halt #0
+""",
+            handlers_with(
+                irq_handler="""
+    li r0, 0xf000400c    ; INTC.ACK
+    movi r1, 1
+    str r1, [r0]
+    movi r6, 42
+    sret"""
+            ),
+        )
+        assert res.halted_ok
+        assert board.cpu.regs[6] == 42
+        assert engine.counters.irqs == 1
+        assert not board.intc.irq_asserted()
+
+    def test_masked_irq_not_delivered(self, engine_cls):
+        if engine_cls.name == "gem5":
+            pytest.skip("gem5 model lacks the software-trigger feature")
+        engine, board, res = run_with_vectors(
+            engine_cls,
+            """
+    li r1, 0xf0004004
+    movi r2, 1
+    str r2, [r1]
+    li r1, 0xf0004008    ; trigger while CPU IRQs are masked
+    str r2, [r1]
+    nop
+    nop
+    halt #0
+""",
+            handlers_with(),
+        )
+        assert res.halted_ok
+        assert engine.counters.irqs == 0
+        assert board.intc.irq_asserted()  # still pending
+
+    def test_gem5_rejects_swirq_trigger(self):
+        """Figure 7 dagger: the detailed engine does not implement the
+        software-interrupt trigger."""
+        from repro.errors import UnsupportedFeatureError
+        from repro.sim import DetailedInterpreter
+
+        with pytest.raises(UnsupportedFeatureError):
+            run_with_vectors(
+                DetailedInterpreter,
+                """
+    li r1, 0xf0004008
+    movi r2, 1
+    str r2, [r1]
+    halt #0
+""",
+                handlers_with(),
+            )
+
+    def test_wfi_wakes_on_pending(self, engine_cls):
+        if engine_cls.name == "gem5":
+            pytest.skip("gem5 model lacks the software-trigger feature")
+        # Pending-but-masked interrupt: WFI must fall through.
+        _e, _board, res = run_with_vectors(
+            engine_cls,
+            """
+    li r1, 0xf0004004
+    movi r2, 1
+    str r2, [r1]
+    li r1, 0xf0004008
+    str r2, [r1]
+    wfi
+    halt #0
+""",
+            handlers_with(),
+        )
+        assert res.halted_ok
+
+    def test_wfi_deadlock_detected(self, engine_cls):
+        _e, _board, res = run_with_vectors(
+            engine_cls, "    wfi\n    halt #0", handlers_with()
+        )
+        assert res.exit_reason is ExitReason.DEADLOCK

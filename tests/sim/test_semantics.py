@@ -1,0 +1,278 @@
+"""Instruction semantics, exercised on every engine.
+
+Each test runs a small bare-metal program on all five engines and
+checks the architectural outcome, so the suite doubles as a
+cross-engine conformance check for each instruction class.
+"""
+
+import pytest
+
+from repro.sim.base import ExitReason
+from tests.sim.util import ALL_ENGINES, run_asm, run_on_all
+
+
+@pytest.fixture(params=ALL_ENGINES, ids=[cls.name for cls in ALL_ENGINES])
+def engine_cls(request):
+    return request.param
+
+
+class TestALU:
+    def test_add_sub(self, engine_cls):
+        _e, board, res = run_asm(
+            engine_cls,
+            """
+    movi r1, 100
+    movi r2, 58
+    add r3, r1, r2
+    sub r4, r1, r2
+    halt #0
+""",
+        )
+        assert res.halted_ok
+        assert board.cpu.regs[3] == 158
+        assert board.cpu.regs[4] == 42
+
+    def test_wraparound(self, engine_cls):
+        _e, board, res = run_asm(
+            engine_cls,
+            """
+    movi r1, 0xffff
+    movt r1, 0xffff
+    addi r1, r1, 1
+    halt #0
+""",
+        )
+        assert board.cpu.regs[1] == 0
+
+    def test_logic_ops(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    movi r1, 0xf0f0
+    movi r2, 0x0ff0
+    and r3, r1, r2
+    orr r4, r1, r2
+    eor r5, r1, r2
+    mvn r6, r1
+    halt #0
+""",
+        )
+        regs = board.cpu.regs
+        assert regs[3] == 0x00F0
+        assert regs[4] == 0xFFF0
+        assert regs[5] == 0xFF00
+        assert regs[6] == 0xFFFF0F0F
+
+    def test_shifts(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    movi r1, 0x8000
+    movt r1, 0x8000
+    lsri r2, r1, 4
+    asri r3, r1, 4
+    lsli r4, r1, 1
+    halt #0
+""",
+        )
+        regs = board.cpu.regs
+        assert regs[2] == 0x08000800
+        assert regs[3] == 0xF8000800
+        assert regs[4] == 0x00010000
+
+    def test_mul_div_rem(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    movi r1, 37
+    movi r2, 5
+    mul r3, r1, r2
+    udiv r4, r1, r2
+    urem r5, r1, r2
+    movi r6, 0
+    udiv r7, r1, r6    ; divide by zero yields 0
+    urem r8, r1, r6
+    halt #0
+""",
+        )
+        regs = board.cpu.regs
+        assert regs[3] == 185
+        assert regs[4] == 7
+        assert regs[5] == 2
+        assert regs[7] == 0
+        assert regs[8] == 0
+
+    def test_movt_preserves_low(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    movi r1, 0x1234
+    movt r1, 0xabcd
+    halt #0
+""",
+        )
+        assert board.cpu.regs[1] == 0xABCD1234
+
+
+class TestMemoryOps:
+    def test_word_roundtrip(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    li r1, 0x2000000
+    li r2, 0xcafebabe
+    str r2, [r1]
+    ldr r3, [r1]
+    halt #0
+""",
+        )
+        assert board.cpu.regs[3] == 0xCAFEBABE
+
+    def test_byte_ops(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    li r1, 0x2000000
+    li r2, 0x11223344
+    str r2, [r1]
+    ldrb r3, [r1]
+    ldrb r4, [r1, #3]
+    movi r5, 0xff
+    strb r5, [r1, #1]
+    ldr r6, [r1]
+    halt #0
+""",
+        )
+        regs = board.cpu.regs
+        assert regs[3] == 0x44
+        assert regs[4] == 0x11
+        assert regs[6] == 0x1122FF44
+
+    def test_negative_offset(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    li r1, 0x2000010
+    movi r2, 77
+    str r2, [r1, #-16]
+    li r3, 0x2000000
+    ldr r4, [r3]
+    halt #0
+""",
+        )
+        assert board.cpu.regs[4] == 77
+
+
+class TestControlFlowOps:
+    def test_loop(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    movi r1, 10
+    movi r2, 0
+loop:
+    addi r2, r2, 2
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop
+    halt #0
+""",
+        )
+        assert board.cpu.regs[2] == 20
+
+    def test_call_and_return(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    movi r1, 5
+    bl double
+    halt #0
+double:
+    add r1, r1, r1
+    br lr
+""",
+        )
+        assert board.cpu.regs[1] == 10
+
+    def test_indirect_call(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    li r5, target
+    blr r5
+    halt #0
+target:
+    movi r4, 123
+    br lr
+""",
+        )
+        assert board.cpu.regs[4] == 123
+
+    def test_conditional_not_taken(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    movi r1, 1
+    cmpi r1, 2
+    beq never
+    movi r2, 50
+    halt #0
+never:
+    movi r2, 99
+    halt #1
+""",
+        )
+        assert board.cpu.regs[2] == 50
+
+    def test_signed_vs_unsigned_conditions(self, engine_cls):
+        _e, board, _res = run_asm(
+            engine_cls,
+            """
+    li r1, 0xffffffff     ; -1 signed, huge unsigned
+    cmpi r1, 1
+    blt signed_less
+    halt #1
+signed_less:
+    cmpi r1, 1
+    bhs unsigned_geq
+    halt #2
+unsigned_geq:
+    movi r3, 1
+    halt #0
+""",
+        )
+        assert board.cpu.regs[3] == 1
+
+
+class TestHalt:
+    def test_halt_code(self, engine_cls):
+        _e, _board, res = run_asm(engine_cls, "    halt #7\n")
+        assert res.exit_reason is ExitReason.HALT
+        assert res.halt_code == 7
+
+    def test_instruction_limit(self, engine_cls):
+        _e, _board, res = run_asm(engine_cls, "spin:\n    b spin\n", max_insns=500)
+        assert res.exit_reason is ExitReason.LIMIT
+        assert res.instructions <= 600
+
+
+class TestCrossEngineAgreement:
+    def test_same_register_file_everywhere(self):
+        body = """
+    movi r1, 3
+    movi r2, 0
+    movi r3, 17
+mix:
+    mul r3, r3, r3
+    eori r3, r3, 0x5a5a
+    addi r2, r2, 1
+    cmp r2, r1
+    bne mix
+    halt #0
+"""
+        outcomes = {
+            name: board.cpu.snapshot()
+            for name, (_e, board, _r) in run_on_all(body).items()
+        }
+        values = list(outcomes.values())
+        assert all(value == values[0] for value in values), outcomes

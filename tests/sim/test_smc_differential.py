@@ -1,0 +1,111 @@
+"""Self-modifying-code differential fuzzing.
+
+Random rewrite patterns (which victim function, which slot, what the
+new instruction is, when it is called) must behave identically on the
+fast interpreter and the DBT engine -- the two engines with code
+caches to keep coherent.  This is the hardest correctness corner of
+any DBT: stale translations must never execute.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ARM
+from repro.isa.assembler import assemble
+from repro.isa.encoding import Op, encode
+from repro.machine import Board
+from repro.platform import VEXPRESS
+from repro.sim import DBTSimulator, DetailedInterpreter, FastInterpreter
+
+# Victim functions: two patchable slots each, on their own page.
+_VICTIMS = """
+.page
+victim0:
+    nop
+    nop
+    addi r4, r4, 1
+    br lr
+victim1:
+    nop
+    nop
+    addi r4, r4, 16
+    br lr
+"""
+
+#: Harmless instruction words a fuzzer may patch into a slot.
+_PATCH_WORDS = (
+    encode(Op.NOP),
+    encode(Op.ADDI, rd=5, rn=5, imm=1),
+    encode(Op.ADDI, rd=5, rn=5, imm=2),
+    encode(Op.EORI, rd=5, rn=5, imm=0x55),
+    encode(Op.MOVI, rd=6, imm=7),
+)
+
+_action = st.tuples(
+    st.integers(min_value=0, max_value=1),  # victim index
+    st.integers(min_value=0, max_value=1),  # slot index (word 0 or 1)
+    st.sampled_from(_PATCH_WORDS),  # new instruction word
+    st.booleans(),  # call victim0 afterwards?
+    st.booleans(),  # call victim1 afterwards?
+)
+
+
+def _build_source(actions):
+    lines = [".org 0x8000", "_start:", "    li sp, 0x100000"]
+    for victim, slot, word, call0, call1 in actions:
+        lines.append("    li r0, victim%d" % victim)
+        lines.append("    li r1, 0x%08x" % word)
+        lines.append("    str r1, [r0, #%d]" % (4 * slot))
+        if call0:
+            lines.append("    li r2, victim0")
+            lines.append("    blr r2")
+        if call1:
+            lines.append("    li r2, victim1")
+            lines.append("    blr r2")
+    lines.append("    halt #0")
+    return "\n".join(lines) + "\n" + _VICTIMS
+
+
+@settings(max_examples=25, deadline=None)
+@given(actions=st.lists(_action, min_size=1, max_size=10))
+def test_smc_patterns_agree_across_code_caching_engines(actions):
+    source = _build_source(actions)
+    program = assemble(source)
+    outcomes = {}
+    for engine_cls in (FastInterpreter, DBTSimulator, DetailedInterpreter):
+        board = Board(VEXPRESS)
+        board.load(program)
+        engine = engine_cls(board, arch=ARM)
+        result = engine.run(max_insns=200_000)
+        outcomes[engine_cls.name] = (
+            result.exit_reason,
+            result.halt_code,
+            board.cpu.snapshot(),
+            engine.counters.instructions,
+        )
+    reference = next(iter(outcomes.values()))
+    for name, outcome in outcomes.items():
+        assert outcome == reference, "engine %s diverged" % name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    words=st.lists(st.sampled_from(_PATCH_WORDS), min_size=2, max_size=6),
+)
+def test_repeated_patch_of_same_slot(words):
+    """Patching the same slot repeatedly, executing between patches."""
+    actions = [(0, 0, word, True, False) for word in words]
+    source = _build_source(actions)
+    program = assemble(source)
+    boards = {}
+    for engine_cls in (FastInterpreter, DBTSimulator):
+        board = Board(VEXPRESS)
+        board.load(program)
+        engine = engine_cls(board, arch=ARM)
+        result = engine.run(max_insns=100_000)
+        assert result.halted_ok
+        boards[engine_cls.name] = board
+    assert boards["simit"].cpu.snapshot() == boards["qemu-dbt"].cpu.snapshot()
+    # And the final memory content of the patched slot is the last word.
+    for board in boards.values():
+        victim0 = program.symbol("victim0")
+        assert board.memory.read32(victim0) == words[-1]

@@ -1,0 +1,159 @@
+"""Virtualization (KVM-like) and native cost-model tests."""
+
+from repro.arch import ARM, X86
+from repro.machine import Board
+from repro.platform import PCPLAT, VEXPRESS
+from repro.sim import NativeMachine, VirtSimulator
+from tests.sim.util import run_asm
+
+
+def modeled(engine):
+    return engine.modeled_ns(engine.counters.snapshot())
+
+
+class TestVmExits:
+    def test_mmio_counts_as_vm_exit(self):
+        engine, _board, res = run_asm(
+            VirtSimulator,
+            "    li r1, 0xf0002000\n    ldr r0, [r1]\n    ldr r0, [r1]\n    halt #0\n",
+        )
+        assert res.halted_ok
+        assert engine.counters.vm_exits == 2
+
+    def test_compute_does_not_exit(self):
+        engine, _board, _res = run_asm(
+            VirtSimulator,
+            "    movi r1, 9\n    muli r1, r1, 9\n    halt #0\n",
+        )
+        assert engine.counters.vm_exits == 0
+
+    def test_x86_undef_is_a_trap(self):
+        # On the x86 profile, undefined instructions count as vm-exits.
+        engine, _board, _res = run_asm(
+            VirtSimulator,
+            """
+    li r0, 0x5000
+    mcr r0, p15, c6
+    und
+    halt #0
+.org 0x5000
+    b _start
+    b uh
+uh:
+    sret
+""",
+            platform=PCPLAT,
+            arch=X86,
+        )
+        assert engine.counters.vm_exits >= 1
+
+    def test_arm_undef_is_not_a_trap(self):
+        engine, _board, _res = run_asm(
+            VirtSimulator,
+            """
+    li r0, 0x5000
+    mcr r0, p15, c6
+    und
+    halt #0
+.org 0x5000
+    b _start
+    b uh
+uh:
+    sret
+""",
+            platform=VEXPRESS,
+            arch=ARM,
+        )
+        assert engine.counters.vm_exits == 0
+
+
+class TestCostAsymmetries:
+    UNDEF_BODY = """
+    li r0, 0x5000
+    mcr r0, p15, c6
+    und
+    und
+    und
+    und
+    halt #0
+.org 0x5000
+    b _start
+    b uh
+uh:
+    sret
+"""
+
+    def test_undef_cheap_on_arm_kvm_expensive_on_x86_kvm(self):
+        arm, _b, _r = run_asm(VirtSimulator, self.UNDEF_BODY, platform=VEXPRESS, arch=ARM)
+        x86, _b, _r = run_asm(VirtSimulator, self.UNDEF_BODY, platform=PCPLAT, arch=X86)
+        arm_cost = arm.cost_model.costs["undefs"]
+        x86_cost = x86.cost_model.costs["undefs"]
+        assert x86_cost > 10 * arm_cost
+
+    def test_mmio_trap_dwarfs_native(self):
+        body = "    li r1, 0xf0002000\n    ldr r0, [r1]\n    halt #0\n"
+        virt, _b, _r = run_asm(VirtSimulator, body)
+        native, _b, _r = run_asm(NativeMachine, body)
+        assert modeled(virt) > 20 * modeled(native)
+
+    def test_native_compute_is_cheapest(self):
+        # Straight-line compute: no branches, so the ARM-KVM control
+        # flow penalty (paper Section III-B.2) does not apply.
+        body = "    movi r1, 7\n" + "    muli r1, r1, 3\n" * 120 + "    halt #0\n"
+        from repro.sim import FastInterpreter
+
+        times = {}
+        for cls in (NativeMachine, VirtSimulator, FastInterpreter):
+            engine, _b, _r = run_asm(cls, body)
+            times[cls.name] = modeled(engine)
+        assert times["native"] < times["qemu-kvm"] < times["simit"]
+
+    def test_arm_kvm_branches_are_pathological(self):
+        # The paper's ARM KVM is slower than the fast interpreter on
+        # branchy code (Figure 7, Control Flow rows).
+        body = """
+    movi r1, 200
+loop:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop
+    halt #0
+"""
+        from repro.sim import FastInterpreter
+
+        kvm, _b, _r = run_asm(VirtSimulator, body)
+        interp, _b, _r = run_asm(FastInterpreter, body)
+        assert modeled(kvm) > modeled(interp)
+
+    def test_x86_native_coprocessor_reset_is_slow(self):
+        body_x86 = "    mcr r0, p1, c1\n" * 8 + "    halt #0\n"
+        engine, _b, _r = run_asm(NativeMachine, body_x86, platform=PCPLAT, arch=X86)
+        per_op = engine.cost_model.costs["coproc_writes"]
+        assert per_op > 1000  # FNINIT-style resets are notoriously slow
+
+
+class TestHardwareTLBSizing:
+    def test_large_tlb_absorbs_moderate_working_sets(self):
+        body = """
+    li r1, 0x2000000
+    movi r2, 64
+touch:
+    ldr r0, [r1]
+    addi r1, r1, 0x1000
+    subi r2, r2, 1
+    cmpi r2, 0
+    bne touch
+    halt #0
+"""
+        board = Board(VEXPRESS)
+        virt = VirtSimulator(board, arch=ARM)
+        assert virt._dtlb.capacity >= 1024
+
+    def test_feature_summaries(self):
+        board = Board(VEXPRESS)
+        virt = VirtSimulator(board, arch=ARM)
+        assert virt.feature_summary()["Interrupts"] == "Via Emulation Layer"
+        assert virt.feature_summary()["Undefined Instruction"] == "Hypercall"
+        board2 = Board(VEXPRESS)
+        native = NativeMachine(board2, arch=ARM)
+        assert native.feature_summary()["Execution Model"] == "Direct"

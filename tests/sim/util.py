@@ -1,0 +1,43 @@
+"""Shared helpers for engine tests."""
+
+from repro.arch import ARM
+from repro.isa.assembler import assemble
+from repro.machine import Board
+from repro.platform import VEXPRESS
+from repro.sim import (
+    DBTSimulator,
+    DetailedInterpreter,
+    FastInterpreter,
+    NativeMachine,
+    VirtSimulator,
+)
+
+ALL_ENGINES = (
+    FastInterpreter,
+    DBTSimulator,
+    DetailedInterpreter,
+    VirtSimulator,
+    NativeMachine,
+)
+
+CODE_BASE = 0x8000
+
+
+def run_asm(engine_cls, body, platform=VEXPRESS, arch=ARM, max_insns=200_000, **kwargs):
+    """Assemble a bare program (MMU off) and run it on an engine.
+
+    ``body`` runs at 0x8000 with sp preset; it must end with ``halt``.
+    Returns (engine, board, run_result).
+    """
+    source = ".org 0x%x\n_start:\n    li sp, 0x100000\n%s\n" % (CODE_BASE, body)
+    program = assemble(source)
+    board = Board(platform)
+    board.load(program)
+    engine = engine_cls(board, arch=arch, **kwargs)
+    result = engine.run(max_insns=max_insns)
+    return engine, board, result
+
+
+def run_on_all(body, **kwargs):
+    """Run the same program on every engine; returns {name: (engine, board, result)}."""
+    return {cls.name: run_asm(cls, body, **kwargs) for cls in ALL_ENGINES}

@@ -1,0 +1,105 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_simulator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--sim", "bochs"])
+
+
+class TestListCommand:
+    def test_lists_inventory(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Small Blocks" in out
+        assert "qemu-dbt" in out
+        assert "v2.5.0-rc2" in out
+        assert "mcf" in out
+
+
+class TestRunCommand:
+    def test_run_benchmark(self, capsys):
+        assert main(["run", "System Call", "--sim", "simit", "--iterations", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "System Call" in out
+        assert "50 iterations" in out
+        assert "50,000,000" in out  # the paper's count is reported too
+
+    def test_not_applicable_is_reported(self, capsys):
+        code = main(["run", "Nonprivileged Access", "--sim", "simit", "--arch", "x86"])
+        assert code == 0
+        assert "not-applicable" in capsys.readouterr().out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["run", "Bogus Benchmark"])
+
+    def test_wallclock_timing(self, capsys):
+        assert main([
+            "run", "System Call", "--sim", "simit",
+            "--iterations", "20", "--timing", "wallclock",
+        ]) == 0
+
+
+class TestSuiteCommand:
+    def test_small_suite(self, capsys):
+        assert main(["suite", "--sim", "simit", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("iterations") >= 17
+
+
+class TestFigureCommand:
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "Full-system" in capsys.readouterr().out
+
+    def test_figure4(self, capsys):
+        assert main(["figure", "4"]) == 0
+        assert "Block Chaining" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5"]) == 0
+        assert "vexpress" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "12"]) == 2
+
+
+class TestSweepCommand:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "System Call", "--iterations", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "v1.7.0" in out and "v2.5.0-rc2" in out
+
+
+class TestCompareCommand:
+    def test_side_by_side(self, capsys):
+        assert main(["compare", "--sims", "qemu-dbt,simit", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Ratio simit/qemu-dbt" in out
+        assert "Hot Memory Access" in out
+
+    def test_unknown_simulator(self, capsys):
+        assert main(["compare", "--sims", "qemu-dbt,bochs", "--scale", "0.05"]) == 2
+
+
+class TestReportCommand:
+    def test_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "R.md"
+        assert main(["report", "--output", str(out_path), "--scale", "0.05"]) == 0
+        assert out_path.exists()
+        assert "# SimBench reproduction report" in out_path.read_text()
+
+
+class TestDetectCommand:
+    def test_detect_interpreter(self, capsys):
+        assert main(["detect", "simit"]) == 0
+        assert "interpreter" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Exception-hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            errors.AssemblerError,
+            errors.DecodeError,
+            errors.CompileError,
+            errors.MachineError,
+            errors.BusError,
+            errors.UnsupportedFeatureError,
+            errors.GuestHalted,
+            errors.HarnessError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_bus_error_is_machine_error(self):
+        assert issubclass(errors.BusError, errors.MachineError)
+
+
+class TestMessages:
+    def test_assembler_error_line(self):
+        err = errors.AssemblerError("bad", line=7)
+        assert err.line == 7
+        assert "line 7" in str(err)
+
+    def test_assembler_error_without_line(self):
+        assert errors.AssemblerError("bad").line is None
+
+    def test_compile_error_line(self):
+        err = errors.CompileError("oops", line=3)
+        assert "line 3" in str(err)
+
+    def test_bus_error_fields(self):
+        err = errors.BusError(0xDEAD0000, access="write")
+        assert err.paddr == 0xDEAD0000
+        assert "0xdead0000" in str(err)
+        assert "write" in str(err)
+
+    def test_unsupported_feature_fields(self):
+        err = errors.UnsupportedFeatureError("gem5", "safedev")
+        assert err.simulator == "gem5"
+        assert err.feature == "safedev"
+        assert "gem5" in str(err)
+
+    def test_guest_halted_code(self):
+        err = errors.GuestHalted(0xEE)
+        assert err.code == 0xEE
+        assert "238" in str(err)
+
+
+class TestPackage:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
