@@ -1,0 +1,90 @@
+"""Experiment-runner performance: cold vs warm cache vs parallel.
+
+Regenerates Figure 7 three ways -- cold (executing and filling a fresh
+result cache), warm (re-pricing cached counter deltas without running
+any guest code), and parallel (``jobs=4``, no cache) -- checks all
+three produce identical tables, and emits the timings as
+``BENCH_runner.json``.  The warm run must be at least 5x faster than
+the cold one.
+
+Also runnable standalone: ``PYTHONPATH=src python benchmarks/bench_runner.py``.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.analysis import figures
+from repro.core import ExperimentRunner, ResultCache
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SCALE = 0.5
+JOBS = 4
+
+
+def run_cold_warm_parallel(scale=SCALE, jobs=JOBS):
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_runner = ExperimentRunner(cache=ResultCache(cache_dir))
+        t0 = time.perf_counter()
+        cold = figures.figure7(scale=scale, runner=cold_runner)
+        t1 = time.perf_counter()
+        warm_runner = ExperimentRunner(cache=ResultCache(cache_dir))
+        warm = figures.figure7(scale=scale, runner=warm_runner)
+        t2 = time.perf_counter()
+    parallel_runner = ExperimentRunner(jobs=jobs)
+    t3 = time.perf_counter()
+    parallel = figures.figure7(scale=scale, runner=parallel_runner)
+    t4 = time.perf_counter()
+
+    assert warm == cold, "warm cache changed the Figure 7 table"
+    assert parallel == cold, "parallel execution changed the Figure 7 table"
+    assert warm_runner.last_stats["executed"] == 0, "warm run executed guest code"
+
+    cold_seconds = t1 - t0
+    warm_seconds = t2 - t1
+    parallel_seconds = t4 - t3
+    return {
+        "figure": "figure7",
+        "scale": scale,
+        "jobs": jobs,
+        # Parallel speedup is bounded by the host: on a single-core
+        # runner the jobs=N fan-out can only match serial, not beat it.
+        "cpu_count": os.cpu_count(),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "parallel_seconds": parallel_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "parallel_speedup": cold_seconds / parallel_seconds,
+        "cold_stats": cold_runner.last_stats,
+        "warm_stats": warm_runner.last_stats,
+        "parallel_stats": parallel_runner.last_stats,
+        "identical": True,
+    }
+
+
+def test_runner_cold_warm_parallel(benchmark, save_artifact):
+    payload = benchmark.pedantic(run_cold_warm_parallel, rounds=1, iterations=1)
+    text = json.dumps(payload, indent=2) + "\n"
+    save_artifact("BENCH_runner.json", text)
+    print()
+    print(text)
+    assert payload["warm_speedup"] >= 5.0
+
+
+def main():
+    payload = run_cold_warm_parallel()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_runner.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print("wrote %s" % path)
+    if payload["warm_speedup"] < 5.0:
+        raise SystemExit(
+            "warm cache speedup %.2fx is below the 5x floor" % payload["warm_speedup"]
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,8 @@ from repro.analysis.sweep import VersionSweep
 from repro.arch import ARM, X86
 from repro.core.density import density_table
 from repro.core.harness import Harness, TimingPolicy
-from repro.core.suite import GROUPS, benchmarks_in_group
+from repro.core.runner import ExperimentRunner, JobSpec
+from repro.core.suite import SUITE, GROUPS, benchmarks_in_group
 from repro.machine import Board
 from repro.platform import PCPLAT, VEXPRESS
 from repro.sim import create_simulator
@@ -86,7 +87,7 @@ def render_figure1(data, title="Figure 1: user-mode vs full-system simulation"):
 # ---------------------------------------------------------------------------
 
 
-def figure2(arch=ARM, platform=None, harness=None, scale=1.0):
+def figure2(arch=ARM, platform=None, harness=None, scale=1.0, runner=None):
     """Relative SPEC-proxy performance across the QEMU version sweep.
 
     Returns ``{"versions": [...], "series": {name: [speedups]}}`` with
@@ -95,11 +96,14 @@ def figure2(arch=ARM, platform=None, harness=None, scale=1.0):
     """
     if platform is None:
         platform = _default_env(arch)[1]
-    sweep = VersionSweep(arch, platform, harness=harness)
+    sweep = VersionSweep(arch, platform, harness=harness, runner=runner)
     all_series = {}
+    by_scale = {}
     for workload in SPEC_PROXIES:
         iterations = max(1, int(workload.default_iterations * scale))
-        all_series[workload.name] = sweep.run(workload, iterations=iterations)
+        by_scale.setdefault(iterations, []).append(workload)
+    for iterations, workloads in by_scale.items():
+        all_series.update(sweep.run_many(workloads, iterations=iterations))
     versions = list(QEMU_VERSIONS)
     overall = []
     for index in range(len(versions)):
@@ -189,23 +193,32 @@ def figure5():
 # ---------------------------------------------------------------------------
 
 
-def figure6(arch=ARM, platform=None, harness=None, scale=1.0):
+def figure6(arch=ARM, platform=None, harness=None, scale=1.0, runner=None):
     """SimBench speedups per category across the QEMU version sweep.
 
     Returns ``{"versions": [...], "panels": {group: {bench: [speedups]}}}``.
     """
     if platform is None:
         platform = _default_env(arch)[1]
-    sweep = VersionSweep(arch, platform, harness=harness)
-    panels = {}
+    sweep = VersionSweep(arch, platform, harness=harness, runner=runner)
+    grid = []
     for group in GROUPS:
-        panels[group] = {}
         for benchmark in benchmarks_in_group(group):
             if not benchmark.effective(arch):
                 continue
             iterations = max(1, int(benchmark.default_iterations * scale))
-            series = sweep.run(benchmark, iterations=iterations)
-            panels[group][benchmark.name] = list(series.speedups())
+            grid.append((group, benchmark, iterations))
+    by_iterations = {}
+    for group, benchmark, iterations in grid:
+        by_iterations.setdefault(iterations, []).append(benchmark)
+    series_by_name = {}
+    for iterations, benchmarks in by_iterations.items():
+        series_by_name.update(sweep.run_many(benchmarks, iterations=iterations))
+    panels = {}
+    for group, benchmark, _iterations in grid:
+        panels.setdefault(group, {})[benchmark.name] = list(
+            series_by_name[benchmark.name].speedups()
+        )
     return {"versions": list(QEMU_VERSIONS), "panels": panels}
 
 
@@ -214,32 +227,45 @@ def figure6(arch=ARM, platform=None, harness=None, scale=1.0):
 # ---------------------------------------------------------------------------
 
 
-def figure7(harness=None, scale=1.0):
+def figure7(harness=None, scale=1.0, runner=None):
     """The full cross-simulator results table (modeled seconds).
 
     Returns ``{"arm": {sim: {bench: seconds|None}}, "x86": {...}}``
     where ``None`` marks unsupported (dagger) or not-applicable ('-')
     cells, with the reason in the parallel ``status`` maps.
+
+    The whole table is submitted to the experiment runner as one flat
+    grid, so with ``runner=ExperimentRunner(jobs=N)`` every cell of
+    both guest architectures executes in parallel.
     """
-    if harness is None:
-        harness = Harness(timing=TimingPolicy.MODELED)
-    table = {}
-    status = {}
+    if runner is None:
+        runner = ExperimentRunner(harness=harness)
+    grid = []
+    specs = []
     for arch, platform, simulators in (
         (ARM, VEXPRESS, ARM_SIMULATORS),
         (X86, PCPLAT, X86_SIMULATORS),
     ):
-        table[arch.name] = {}
-        status[arch.name] = {}
         for simulator in simulators:
-            suite_result = harness.run_suite(simulator, arch, platform, scale=scale)
-            seconds = {}
-            states = {}
-            for result in suite_result:
-                seconds[result.benchmark] = result.kernel_seconds if result.ok else None
-                states[result.benchmark] = result.status
-            table[arch.name][simulator] = seconds
-            status[arch.name][simulator] = states
+            for benchmark in SUITE:
+                grid.append((arch.name, simulator))
+                specs.append(
+                    JobSpec(
+                        benchmark,
+                        simulator,
+                        arch,
+                        platform,
+                        iterations=max(1, int(benchmark.default_iterations * scale)),
+                    )
+                )
+    results = runner.run(specs)
+    table = {}
+    status = {}
+    for (arch_name, simulator), result in zip(grid, results):
+        seconds = table.setdefault(arch_name, {}).setdefault(simulator, {})
+        states = status.setdefault(arch_name, {}).setdefault(simulator, {})
+        seconds[result.benchmark] = result.kernel_seconds if result.ok else None
+        states[result.benchmark] = result.status
     return {"seconds": table, "status": status}
 
 
@@ -248,13 +274,21 @@ def figure7(harness=None, scale=1.0):
 # ---------------------------------------------------------------------------
 
 
-def figure8(arch=ARM, platform=None, harness=None, scale=1.0, figure2_data=None, figure6_data=None):
+def figure8(
+    arch=ARM,
+    platform=None,
+    harness=None,
+    scale=1.0,
+    figure2_data=None,
+    figure6_data=None,
+    runner=None,
+):
     """Geomean speedup of the SPEC proxies and of SimBench across the
     QEMU version sweep (both baselined at v1.7.0)."""
     if figure2_data is None:
-        figure2_data = figure2(arch, platform, harness=harness, scale=scale)
+        figure2_data = figure2(arch, platform, harness=harness, scale=scale, runner=runner)
     if figure6_data is None:
-        figure6_data = figure6(arch, platform, harness=harness, scale=scale)
+        figure6_data = figure6(arch, platform, harness=harness, scale=scale, runner=runner)
     versions = figure2_data["versions"]
     spec = figure2_data["series"]["SPEC (overall)"]
     simbench = []

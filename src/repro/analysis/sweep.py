@@ -7,10 +7,15 @@ counts, so the sweep executes each benchmark once per structural group
 and then prices the recorded kernel counter delta under every version's
 cost table.  This keeps the sweep honest -- counts come from real runs
 on the right structure -- while staying fast.
+
+The grouping itself lives in the experiment runner
+(:func:`repro.core.runner.structural_key`): the sweep simply submits
+one job per (benchmark, version) and lets the runner deduplicate,
+cache and parallelise the executions.
 """
 
 from repro.core.harness import Harness, TimingPolicy
-from repro.sim.costs import dbt_cost_model
+from repro.core.runner import ExperimentRunner, JobSpec, structural_key
 from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
 
 
@@ -35,23 +40,21 @@ class SweepSeries:
 
 
 def _structural_key(config):
-    return (
-        config.chain_enabled,
-        config.chain_cross_page,
-        config.max_block_insns,
-        config.tlb_bits,
-        config.tcache_capacity,
-    )
+    return structural_key("qemu-dbt", dbt_config=config)
 
 
 class VersionSweep:
     """Runs benchmarks/workloads across the QEMU version timeline."""
 
-    def __init__(self, arch, platform, versions=QEMU_VERSIONS, harness=None):
+    def __init__(self, arch, platform, versions=QEMU_VERSIONS, harness=None, runner=None):
         self.arch = arch
         self.platform = platform
         self.versions = tuple(versions)
-        self.harness = harness if harness is not None else Harness(timing=TimingPolicy.MODELED)
+        if runner is None:
+            harness = harness if harness is not None else Harness(timing=TimingPolicy.MODELED)
+            runner = ExperimentRunner(harness=harness)
+        self.runner = runner
+        self.harness = runner.harness
         self._configs = {
             version: dbt_config_for_version(version, arch.name) for version in self.versions
         }
@@ -63,35 +66,49 @@ class VersionSweep:
             groups.setdefault(key, []).append(version)
         return groups
 
-    def run(self, benchmark, iterations=None):
-        """Sweep one benchmark; returns a :class:`SweepSeries`."""
-        deltas_by_key = {}
-        for key, versions in self._structural_groups().items():
-            result = self.harness.run_benchmark(
+    def _specs(self, benchmark, iterations):
+        return [
+            JobSpec(
                 benchmark,
                 "qemu-dbt",
                 self.arch,
                 self.platform,
                 iterations=iterations,
-                dbt_config=self._configs[versions[0]],
+                dbt_config=self._configs[version],
             )
-            if not result.ok:
-                raise RuntimeError(
-                    "sweep run failed for %s under %s: %s (%s)"
-                    % (benchmark.name, versions[0], result.status, result.error)
-                )
-            deltas_by_key[key] = result.kernel_delta
-        seconds = []
-        for version in self.versions:
-            config = self._configs[version]
-            delta = deltas_by_key[_structural_key(config)]
-            model = dbt_cost_model(config.cost_overrides)
-            seconds.append(model.evaluate(delta) / 1e9)
-        return SweepSeries(benchmark.name, benchmark.group, self.versions, seconds)
+            for version in self.versions
+        ]
+
+    def run(self, benchmark, iterations=None):
+        """Sweep one benchmark; returns a :class:`SweepSeries`."""
+        return self.run_many([benchmark], iterations=iterations)[benchmark.name]
 
     def run_many(self, benchmarks, iterations=None):
-        """Sweep several benchmarks; returns ``{name: SweepSeries}``."""
-        return {
-            benchmark.name: self.run(benchmark, iterations=iterations)
-            for benchmark in benchmarks
-        }
+        """Sweep several benchmarks; returns ``{name: SweepSeries}``.
+
+        All (benchmark, version) cells go to the runner as one grid, so
+        with ``jobs=N`` the per-structural-group executions of *every*
+        benchmark proceed in parallel.
+        """
+        benchmarks = list(benchmarks)
+        specs = []
+        for benchmark in benchmarks:
+            specs.extend(self._specs(benchmark, iterations))
+        results = self.runner.run(specs)
+        series = {}
+        index = 0
+        for benchmark in benchmarks:
+            seconds = []
+            for version in self.versions:
+                result = results[index]
+                index += 1
+                if not result.ok:
+                    raise RuntimeError(
+                        "sweep run failed for %s under %s: %s (%s)"
+                        % (benchmark.name, version, result.status, result.error)
+                    )
+                seconds.append(result.kernel_ns / 1e9)
+            series[benchmark.name] = SweepSeries(
+                benchmark.name, benchmark.group, self.versions, seconds
+            )
+        return series

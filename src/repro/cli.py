@@ -15,6 +15,8 @@ Commands
     Regenerate one of the paper's figures/tables (2-8).
 ``sweep BENCHMARK``
     Sweep one benchmark across the QEMU version timeline.
+``cache stats|clear``
+    Inspect or empty an experiment result cache directory.
 ``detect SIMULATOR``
     Fingerprint an engine with the sandbox-detection probes.
 ``report``
@@ -29,7 +31,14 @@ import sys
 from repro.analysis import figures
 from repro.analysis.sweep import VersionSweep
 from repro.arch import ARCHES, get_arch
-from repro.core import Harness, SUITE, TimingPolicy, get_benchmark
+from repro.core import (
+    ExperimentRunner,
+    Harness,
+    ResultCache,
+    SUITE,
+    TimingPolicy,
+    get_benchmark,
+)
 from repro.platform import PLATFORMS, get_platform
 from repro.sim import SIMULATOR_CLASSES
 from repro.sim.dbt.versions import QEMU_VERSIONS
@@ -52,12 +61,48 @@ def _add_env_options(parser):
     )
 
 
+def _add_runner_options(parser):
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan unique executions over N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory; warm runs re-price cached counter "
+        "deltas instead of executing guest code (modeled timing only)",
+    )
+
+
 def _environment(args):
     arch = get_arch(args.arch)
     platform_name = args.platform or _default_platform(args.arch)
     platform = get_platform(platform_name)
     harness = Harness(timing=TimingPolicy(args.timing))
     return harness, arch, platform
+
+
+def _runner_for(args, harness=None):
+    cache = None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        cache = ResultCache(cache_dir)
+    return ExperimentRunner(
+        harness=harness, jobs=getattr(args, "jobs", 1) or 1, cache=cache
+    )
+
+
+def _report_runner(args, runner):
+    if (getattr(args, "jobs", 1) or 1) > 1 or getattr(args, "cache_dir", None):
+        stats = runner.last_stats
+        if stats:
+            print(
+                "runner: %d jobs -> %d unique, %d cache hits, %d executed"
+                % (stats["jobs"], stats["unique"], stats["cache_hits"], stats["executed"]),
+                file=sys.stderr,
+            )
 
 
 def _print_result(result):
@@ -119,7 +164,9 @@ def _cmd_run(args):
 
 def _cmd_suite(args):
     harness, arch, platform = _environment(args)
-    suite_result = harness.run_suite(args.sim, arch, platform, scale=args.scale)
+    runner = _runner_for(args, harness)
+    suite_result = runner.run_suite(args.sim, arch, platform, scale=args.scale)
+    _report_runner(args, runner)
     print("SimBench on %s (%s guest, %s platform, %s time):"
           % (args.sim, arch.name, platform.name, args.timing))
     failures = 0
@@ -145,10 +192,11 @@ def _cmd_workloads(args):
 def _cmd_figure(args):
     n = args.number
     scale = args.scale
+    runner = _runner_for(args)
     if n == 1:
         print(figures.render_figure1(figures.figure1()))
     elif n == 2:
-        print(figures.render_series(figures.figure2(scale=scale), title="Figure 2"))
+        print(figures.render_series(figures.figure2(scale=scale, runner=runner), title="Figure 2"))
     elif n == 3:
         print(figures.render_figure3(figures.figure3(scale=scale)))
     elif n == 4:
@@ -159,25 +207,42 @@ def _cmd_figure(args):
             for key, value in info.items():
                 print("  %-14s %s" % (key, value))
     elif n == 6:
-        print(figures.render_figure6(figures.figure6(scale=scale)))
+        print(figures.render_figure6(figures.figure6(scale=scale, runner=runner)))
     elif n == 7:
-        print(figures.render_figure7(figures.figure7(scale=scale)))
+        print(figures.render_figure7(figures.figure7(scale=scale, runner=runner)))
     elif n == 8:
-        print(figures.render_series(figures.figure8(scale=scale), title="Figure 8"))
+        print(figures.render_series(figures.figure8(scale=scale, runner=runner), title="Figure 8"))
     else:
         print("unknown figure %d (supported: 1-8)" % n, file=sys.stderr)
         return 2
+    _report_runner(args, runner)
     return 0
 
 
 def _cmd_sweep(args):
     harness, arch, platform = _environment(args)
-    sweep = VersionSweep(arch, platform, harness=harness)
+    runner = _runner_for(args, harness)
+    sweep = VersionSweep(arch, platform, runner=runner)
     series = sweep.run(get_benchmark(args.benchmark), iterations=args.iterations)
     print("%s across the QEMU timeline (%s guest; speedup vs %s):"
           % (series.name, arch.name, series.versions[0]))
     for version, seconds, speedup in zip(series.versions, series.seconds, series.speedups()):
         print("  %-12s %.6f s   %.3fx" % (version, seconds, speedup))
+    _report_runner(args, runner)
+    return 0
+
+
+def _cmd_cache(args):
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print("cache %s" % stats["root"])
+        print("  entries: %d" % stats["entries"])
+        print("  bytes:   %d" % stats["bytes"])
+        print("  schema:  %s" % stats["schema"])
+    else:
+        removed = cache.clear()
+        print("removed %d cache entries from %s" % (removed, args.cache_dir))
     return 0
 
 
@@ -248,6 +313,7 @@ def build_parser():
     p_suite = sub.add_parser("suite", help="run the full suite")
     p_suite.add_argument("--scale", type=float, default=1.0)
     _add_env_options(p_suite)
+    _add_runner_options(p_suite)
 
     p_wl = sub.add_parser("workloads", help="run the SPEC proxies")
     _add_env_options(p_wl)
@@ -255,11 +321,17 @@ def build_parser():
     p_fig = sub.add_parser("figure", help="regenerate a paper figure (2-8)")
     p_fig.add_argument("number", type=int)
     p_fig.add_argument("--scale", type=float, default=0.5)
+    _add_runner_options(p_fig)
 
     p_sweep = sub.add_parser("sweep", help="sweep one benchmark across QEMU versions")
     p_sweep.add_argument("benchmark")
     p_sweep.add_argument("--iterations", type=int, default=None)
     _add_env_options(p_sweep)
+    _add_runner_options(p_sweep)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear a result cache")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--cache-dir", default=".repro-cache")
 
     p_detect = sub.add_parser("detect", help="sandbox-detect an engine")
     p_detect.add_argument("simulator", choices=sorted(SIMULATOR_CLASSES))
@@ -284,6 +356,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
     "detect": _cmd_detect,
     "report": _cmd_report,
     "compare": _cmd_compare,

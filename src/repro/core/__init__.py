@@ -11,6 +11,10 @@ This package is the reproduction of the paper's primary contribution:
 - :mod:`repro.core.suite` -- the suite registry (Figure 3's inventory);
 - :mod:`repro.core.harness` -- runs benchmarks on simulators and
   reports per-kernel run times and iteration counts;
+- :mod:`repro.core.runner` -- the experiment runner (structural job
+  dedup, multiprocessing fan-out, deterministic merge);
+- :mod:`repro.core.resultcache` -- the content-addressed result cache
+  ("execute once, price many");
 - :mod:`repro.core.density` -- operation-density measurement;
 - :mod:`repro.core.predict` -- the performance-prediction model
   (contribution 3: model application performance from micro-benchmark
@@ -26,9 +30,11 @@ from repro.core.suite import (
     benchmarks_in_group,
 )
 from repro.core.benchmarks.extensions import EXTENSION_SUITE
-from repro.core.harness import Harness, TimingPolicy, SuiteResult
+from repro.core.harness import ExecutionRecord, Harness, TimingPolicy, SuiteResult
 from repro.core.density import measure_density, density_table
 from repro.core.predict import PerformanceModel, predict_workloads
+from repro.core.resultcache import ResultCache, job_fingerprint
+from repro.core.runner import ExperimentRunner, JobSpec, structural_key
 
 __all__ = [
     "Benchmark",
@@ -42,6 +48,12 @@ __all__ = [
     "Harness",
     "TimingPolicy",
     "SuiteResult",
+    "ExecutionRecord",
+    "ExperimentRunner",
+    "JobSpec",
+    "ResultCache",
+    "job_fingerprint",
+    "structural_key",
     "measure_density",
     "density_table",
     "PerformanceModel",

@@ -24,13 +24,84 @@ from repro.core.benchmark import BenchmarkResult
 from repro.core.program import PHASE_KERNEL_DONE, PHASE_SETUP_DONE
 from repro.core.suite import SUITE
 from repro.machine import Board
-from repro.sim import create_simulator
+from repro.sim import cost_model_for, create_simulator
 from repro.sim.base import Counters, ExitReason
 
 
 class TimingPolicy(enum.Enum):
     MODELED = "modeled"
     WALLCLOCK = "wallclock"
+
+
+class ExecutionRecord:
+    """The raw outcome of *executing* one benchmark on one engine.
+
+    This is the cacheable half of a benchmark run: everything in it is
+    a pure, deterministic function of the job's structural inputs
+    (benchmark, engine, arch/platform, iterations, structural config)
+    -- except ``kernel_wall_ns``, which records the host time of the
+    run that produced the record and is only meaningful under the
+    WALLCLOCK policy.  Pricing a record through a cost model
+    (:meth:`Harness.price_record`) turns it into a
+    :class:`~repro.core.benchmark.BenchmarkResult`.
+    """
+
+    __slots__ = (
+        "status",
+        "error",
+        "kernel_delta",
+        "kernel_wall_ns",
+        "total_instructions",
+    )
+
+    def __init__(
+        self,
+        status="ok",
+        error=None,
+        kernel_delta=None,
+        kernel_wall_ns=0,
+        total_instructions=0,
+    ):
+        self.status = status
+        self.error = error
+        self.kernel_delta = kernel_delta if kernel_delta is not None else {}
+        self.kernel_wall_ns = kernel_wall_ns
+        self.total_instructions = total_instructions
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+    def to_payload(self):
+        """A JSON-serialisable dict (used by the result cache)."""
+        payload = {
+            "status": self.status,
+            "kernel_delta": dict(self.kernel_delta),
+            "kernel_wall_ns": self.kernel_wall_ns,
+            "total_instructions": self.total_instructions,
+        }
+        if isinstance(self.error, UnsupportedFeatureError):
+            payload["unsupported"] = [self.error.simulator, self.error.feature]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload):
+        error = None
+        if payload.get("unsupported"):
+            error = UnsupportedFeatureError(*payload["unsupported"])
+        return cls(
+            status=payload["status"],
+            error=error,
+            kernel_delta=dict(payload["kernel_delta"]),
+            kernel_wall_ns=payload["kernel_wall_ns"],
+            total_instructions=payload["total_instructions"],
+        )
+
+    def __repr__(self):
+        return "ExecutionRecord(%s, %d kernel insns)" % (
+            self.status,
+            self.kernel_delta.get("instructions", 0),
+        )
 
 
 class SuiteResult:
@@ -92,7 +163,7 @@ class Harness:
         return built
 
     # ------------------------------------------------------------------
-    def run_benchmark(
+    def execute_benchmark(
         self,
         benchmark,
         simulator,
@@ -102,26 +173,22 @@ class Harness:
         dbt_config=None,
         sim_kwargs=None,
     ):
-        """Run one benchmark on one simulator and return a
-        :class:`~repro.core.benchmark.BenchmarkResult`.
+        """Execute one benchmark on one simulator and return the raw
+        :class:`ExecutionRecord` (the kernel-phase counter delta plus
+        run status) -- no cost model is applied.
 
-        ``simulator`` is a registry name (see
-        :data:`repro.sim.SIMULATOR_CLASSES`); ``dbt_config`` applies
-        only to the DBT engine; ``sim_kwargs`` are passed through to the
-        simulator constructor (e.g. ``{"asid_tagged": True}``).
+        The record depends only on the job's *structural* inputs, so
+        two DBT configs differing only in cost overrides produce
+        identical records; :meth:`price_record` applies a specific cost
+        table afterwards.
         """
         if iterations is None:
             iterations = benchmark.default_iterations
-        result = BenchmarkResult(benchmark.name, simulator, arch.name, platform.name)
-        result.iterations = iterations
-        result.paper_iterations = benchmark.paper_iterations
 
         if not benchmark.effective(arch):
-            result.status = "not-applicable"
-            return result
+            return ExecutionRecord(status="not-applicable")
         if not benchmark.supported_by(simulator):
-            result.status = "unsupported"
-            return result
+            return ExecutionRecord(status="unsupported")
 
         built = self.build_program(benchmark, arch, platform)
         board = Board(platform)
@@ -138,38 +205,115 @@ class Harness:
         try:
             run = sim.run(max_insns=self.max_insns)
         except UnsupportedFeatureError as exc:
-            result.status = "unsupported"
-            result.error = exc
-            return result
+            return ExecutionRecord(status="unsupported", error=exc)
         if run.exit_reason is not ExitReason.HALT:
-            result.status = "error"
-            result.error = HarnessError(
-                "%s did not halt (%s) on %s" % (benchmark.name, run.exit_reason.value, simulator)
+            return ExecutionRecord(
+                status="error",
+                error=HarnessError(
+                    "%s did not halt (%s) on %s"
+                    % (benchmark.name, run.exit_reason.value, simulator)
+                ),
             )
-            return result
         if run.halt_code != 0:
-            result.status = "error"
-            result.error = GuestHalted(run.halt_code)
-            return result
+            return ExecutionRecord(status="error", error=GuestHalted(run.halt_code))
         if PHASE_SETUP_DONE not in recorder.snapshots or PHASE_KERNEL_DONE not in recorder.snapshots:
-            result.status = "error"
-            result.error = HarnessError("phase markers missing: %r" % sorted(recorder.snapshots))
-            return result
+            return ExecutionRecord(
+                status="error",
+                error=HarnessError(
+                    "phase markers missing: %r" % sorted(recorder.snapshots)
+                ),
+            )
 
         wall_start, counters_start = recorder.snapshots[PHASE_SETUP_DONE]
         wall_end, counters_end = recorder.snapshots[PHASE_KERNEL_DONE]
-        delta = Counters.delta(counters_start, counters_end)
+        return ExecutionRecord(
+            status="ok",
+            kernel_delta=Counters.delta(counters_start, counters_end),
+            kernel_wall_ns=wall_end - wall_start,
+            total_instructions=run.instructions,
+        )
+
+    # ------------------------------------------------------------------
+    def price_record(
+        self,
+        record,
+        benchmark,
+        simulator,
+        arch,
+        platform,
+        iterations=None,
+        dbt_config=None,
+        sim_kwargs=None,
+    ):
+        """Price an :class:`ExecutionRecord` under the engine's cost
+        model and return a :class:`~repro.core.benchmark.BenchmarkResult`.
+
+        Under ``MODELED`` timing the result is a pure function of the
+        record and the cost table, so a cached record prices to exactly
+        the result a fresh execution would have produced.
+        """
+        if iterations is None:
+            iterations = benchmark.default_iterations
+        result = BenchmarkResult(benchmark.name, simulator, arch.name, platform.name)
+        result.iterations = iterations
+        result.paper_iterations = benchmark.paper_iterations
+        result.status = record.status
+        result.error = record.error
+        if not record.ok:
+            return result
+        delta = record.kernel_delta
         result.kernel_delta = delta
         result.kernel_instructions = delta["instructions"]
-        result.kernel_wall_ns = wall_end - wall_start
+        result.kernel_wall_ns = record.kernel_wall_ns
         if self.timing is TimingPolicy.MODELED:
-            result.kernel_ns = sim.cost_model.evaluate(delta)
+            model = cost_model_for(simulator, arch, dbt_config, sim_kwargs)
+            result.kernel_ns = model.evaluate(delta)
         else:
-            result.kernel_ns = float(result.kernel_wall_ns)
-        result.total_instructions = run.instructions
+            result.kernel_ns = float(record.kernel_wall_ns)
+        result.total_instructions = record.total_instructions
         counters = benchmark.operation_counters_for(arch)
         result.operations = sum(delta.get(name, 0) for name in counters)
         return result
+
+    # ------------------------------------------------------------------
+    def run_benchmark(
+        self,
+        benchmark,
+        simulator,
+        arch,
+        platform,
+        iterations=None,
+        dbt_config=None,
+        sim_kwargs=None,
+    ):
+        """Run one benchmark on one simulator and return a
+        :class:`~repro.core.benchmark.BenchmarkResult`.
+
+        ``simulator`` is a registry name (see
+        :data:`repro.sim.SIMULATOR_CLASSES`); ``dbt_config`` applies
+        only to the DBT engine; ``sim_kwargs`` are passed through to the
+        simulator constructor (e.g. ``{"asid_tagged": True}``).  This is
+        :meth:`execute_benchmark` followed by :meth:`price_record`.
+        """
+        record = self.execute_benchmark(
+            benchmark,
+            simulator,
+            arch,
+            platform,
+            iterations=iterations,
+            dbt_config=dbt_config,
+            sim_kwargs=sim_kwargs,
+        )
+        return self.price_record(
+            record,
+            benchmark,
+            simulator,
+            arch,
+            platform,
+            iterations=iterations,
+            dbt_config=dbt_config,
+            sim_kwargs=sim_kwargs,
+        )
 
     # ------------------------------------------------------------------
     def run_benchmark_repeated(

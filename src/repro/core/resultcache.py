@@ -1,0 +1,156 @@
+"""Content-addressed on-disk cache of benchmark execution records.
+
+Under the MODELED timing policy an :class:`~repro.core.harness.ExecutionRecord`
+is a pure function of the job's structural inputs, so it can be stored
+once and re-priced forever ("execute once, price many").  The cache
+key is a SHA-256 fingerprint over everything the record depends on:
+
+- the benchmark's identity (name, implementing class, and -- for MiniC
+  workloads -- a hash of the guest source);
+- the engine name and the *structural* part of its configuration (cost
+  overrides deliberately excluded: they only affect pricing);
+- architecture, platform and iteration count;
+- a cost-model schema tag covering the counter vocabulary, so the whole
+  cache self-invalidates when the counter set changes.
+
+Entries are JSON files (two-level fan-out by key prefix) written
+atomically via rename, so concurrent runs sharing a cache directory
+never observe torn entries; unreadable or corrupt entries count as
+misses.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.core.harness import ExecutionRecord
+from repro.sim.base import COUNTER_NAMES
+
+#: Bump when the meaning of stored deltas changes (e.g. counter
+#: semantics, phase-marker protocol).  Vocabulary changes are caught
+#: automatically by the counter-name hash in :func:`schema_tag`.
+COST_SCHEMA_VERSION = 1
+
+
+def schema_tag():
+    """Identifier of the counter/cost schema the cache was built for."""
+    digest = hashlib.sha256("\n".join(COUNTER_NAMES).encode("utf-8")).hexdigest()
+    return "%d-%s" % (COST_SCHEMA_VERSION, digest[:12])
+
+
+def job_fingerprint(benchmark, simulator, arch, platform, iterations, structure):
+    """The cache key for one execution job.
+
+    ``structure`` is the job's structural signature (see
+    :func:`repro.core.runner.structural_key`) -- any JSON-serialisable
+    value; configs differing only in cost overrides must map to the
+    same ``structure`` so a single stored record serves all of them.
+    """
+    ident = {
+        "schema": schema_tag(),
+        "benchmark": benchmark.name,
+        "benchmark_class": "%s.%s" % (type(benchmark).__module__, type(benchmark).__qualname__),
+        "simulator": simulator,
+        "arch": getattr(arch, "name", arch),
+        "platform": getattr(platform, "name", platform),
+        "iterations": int(iterations),
+        "structure": structure,
+    }
+    source = getattr(benchmark, "source", None)
+    if source is not None:
+        ident["source"] = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    blob = json.dumps(ident, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of execution records, keyed by job fingerprint."""
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key):
+        """The stored :class:`ExecutionRecord`, or ``None`` on a miss."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            record = ExecutionRecord.from_payload(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key, record, meta=None):
+        """Store a record atomically (write to a temp file, then rename)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"schema": schema_tag(), "record": record.to_payload()}
+        if meta:
+            payload["meta"] = meta
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def _entry_paths(self):
+        if not os.path.isdir(self.root):
+            return
+        for prefix in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, prefix)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(".json"):
+                    yield os.path.join(subdir, name)
+
+    def stats(self):
+        """Summary of the on-disk store plus this session's counters."""
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "schema": schema_tag(),
+        }
+
+    def clear(self):
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self):
+        return "ResultCache(%r)" % self.root

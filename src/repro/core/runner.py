@@ -1,0 +1,312 @@
+"""The experiment runner: deduplicated, cacheable, parallel job grids.
+
+Every evaluation driver (suite runs, the figure generators, the QEMU
+version sweep) reduces to the same shape: a grid of *job specs* --
+(benchmark, simulator, arch, platform, iterations, config) tuples --
+whose results are assembled into tables.  The runner executes such a
+grid efficiently while keeping results bit-for-bit equal to naive
+serial execution:
+
+- jobs whose *structural* inputs coincide share one execution (the
+  generalisation of the version sweep's structural grouping to every
+  engine: DBT configs differing only in cost overrides, or plainly
+  repeated jobs, execute once and are priced per spec);
+- unique executions are optionally fanned out over a ``multiprocessing``
+  pool (``jobs=N``); results are merged in submission order, so
+  parallelism never changes the output;
+- an optional :class:`~repro.core.resultcache.ResultCache` persists
+  kernel counter deltas across processes, letting warm runs re-price
+  without executing a single guest instruction.  The cache is only
+  consulted under the deterministic MODELED timing policy.
+"""
+
+import multiprocessing
+
+from repro.core.harness import Harness, SuiteResult, TimingPolicy
+from repro.core.resultcache import job_fingerprint
+from repro.core.suite import SUITE, get_benchmark
+from repro.sim.dbt.config import DBTConfig
+
+
+def structural_key(simulator, dbt_config=None, sim_kwargs=None):
+    """The structural signature of one job's engine configuration.
+
+    Two jobs with equal structural keys (and equal benchmark, arch,
+    platform and iterations) execute identical guest instruction
+    streams and produce identical kernel counter deltas, so they can
+    share one execution.  For the DBT engine this is the config minus
+    its cost overrides; for every other engine it is the engine name
+    plus any constructor kwargs.
+    """
+    kwargs = dict(sim_kwargs or {})
+    if simulator == "qemu-dbt":
+        config = kwargs.pop("config", None)
+        if config is None:
+            config = dbt_config
+        if config is None:
+            config = DBTConfig()
+        return (
+            simulator,
+            config.chain_enabled,
+            config.chain_cross_page,
+            config.max_block_insns,
+            config.tlb_bits,
+            config.tcache_capacity,
+            config.asid_tagged,
+            repr(sorted(kwargs.items())),
+        )
+    return (simulator, repr(sorted(kwargs.items())))
+
+
+class JobSpec:
+    """One cell of an experiment grid.
+
+    ``benchmark`` may be a Benchmark/Workload instance or a suite
+    benchmark name; ``iterations=None`` means the benchmark's default.
+    """
+
+    __slots__ = (
+        "benchmark",
+        "simulator",
+        "arch",
+        "platform",
+        "iterations",
+        "dbt_config",
+        "sim_kwargs",
+    )
+
+    def __init__(
+        self,
+        benchmark,
+        simulator,
+        arch,
+        platform,
+        iterations=None,
+        dbt_config=None,
+        sim_kwargs=None,
+    ):
+        if isinstance(benchmark, str):
+            benchmark = get_benchmark(benchmark)
+        self.benchmark = benchmark
+        self.simulator = simulator
+        self.arch = arch
+        self.platform = platform
+        self.iterations = (
+            int(iterations) if iterations is not None else benchmark.default_iterations
+        )
+        self.dbt_config = dbt_config
+        self.sim_kwargs = sim_kwargs
+
+    def structural_key(self):
+        return structural_key(self.simulator, self.dbt_config, self.sim_kwargs)
+
+    def execution_key(self):
+        """Jobs sharing this key share one execution (and cache entry)."""
+        return (
+            self.benchmark.name,
+            type(self.benchmark).__qualname__,
+            getattr(self.benchmark, "source", None),
+            self.arch.name,
+            self.platform.name,
+            self.iterations,
+            self.structural_key(),
+        )
+
+    def fingerprint(self):
+        """The on-disk cache key for this job."""
+        return job_fingerprint(
+            self.benchmark,
+            self.simulator,
+            self.arch,
+            self.platform,
+            self.iterations,
+            self.structural_key(),
+        )
+
+    def executes(self):
+        """Whether this job runs guest code at all (as opposed to being
+        decided statically as not-applicable/unsupported)."""
+        return self.benchmark.effective(self.arch) and self.benchmark.supported_by(
+            self.simulator
+        )
+
+    def __repr__(self):
+        return "JobSpec(%s on %s/%s/%s, %d iters)" % (
+            self.benchmark.name,
+            self.simulator,
+            self.arch.name,
+            self.platform.name,
+            self.iterations,
+        )
+
+
+#: Per-worker harness, created once per pool process so built guest
+#: programs are reused across the jobs that land on that worker.
+_WORKER_HARNESS = None
+
+
+def _init_worker(timing, max_insns):
+    global _WORKER_HARNESS
+    _WORKER_HARNESS = Harness(timing=timing, max_insns=max_insns)
+
+
+def _execute_job(spec):
+    """Pool worker: execute one job in this worker's harness.
+
+    Module-level so it pickles by reference; the harness itself is
+    never shipped across the process boundary.
+    """
+    return _WORKER_HARNESS.execute_benchmark(
+        spec.benchmark,
+        spec.simulator,
+        spec.arch,
+        spec.platform,
+        iterations=spec.iterations,
+        dbt_config=spec.dbt_config,
+        sim_kwargs=spec.sim_kwargs,
+    )
+
+
+class ExperimentRunner:
+    """Executes grids of :class:`JobSpec` with dedup, cache and fan-out."""
+
+    def __init__(self, harness=None, jobs=1, cache=None):
+        self.harness = harness if harness is not None else Harness(timing=TimingPolicy.MODELED)
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        #: Counters for the last :meth:`run` call.
+        self.last_stats = {}
+
+    # ------------------------------------------------------------------
+    def _cache_usable(self):
+        return self.cache is not None and self.harness.timing is TimingPolicy.MODELED
+
+    def run(self, specs):
+        """Run a grid and return one BenchmarkResult per spec, in order."""
+        specs = [spec if isinstance(spec, JobSpec) else JobSpec(*spec) for spec in specs]
+
+        # Group structurally-equal jobs in submission order.
+        groups = {}
+        unique = []
+        for spec in specs:
+            key = spec.execution_key()
+            if key not in groups:
+                groups[key] = spec
+                unique.append((key, spec))
+
+        # Probe the cache, collect what still needs executing.  Jobs
+        # decided statically (not-applicable / unsupported engine) are
+        # resolved inline -- they run no guest code, so they are neither
+        # cached nor counted as executions.
+        records = {}
+        pending = []
+        static = 0
+        cache = self.cache if self._cache_usable() else None
+        for key, spec in unique:
+            if not spec.executes():
+                records[key] = self.harness.execute_benchmark(
+                    spec.benchmark,
+                    spec.simulator,
+                    spec.arch,
+                    spec.platform,
+                    iterations=spec.iterations,
+                    dbt_config=spec.dbt_config,
+                    sim_kwargs=spec.sim_kwargs,
+                )
+                static += 1
+                continue
+            record = cache.get(spec.fingerprint()) if cache is not None else None
+            if record is not None:
+                records[key] = record
+            else:
+                pending.append((key, spec))
+
+        # Execute the remainder -- serially, or over a fork pool.
+        executed = self._execute_pending([spec for _, spec in pending])
+        for (key, spec), record in zip(pending, executed):
+            records[key] = record
+            if cache is not None and record.status in ("ok", "unsupported"):
+                cache.put(
+                    spec.fingerprint(),
+                    record,
+                    meta={
+                        "benchmark": spec.benchmark.name,
+                        "simulator": spec.simulator,
+                        "arch": spec.arch.name,
+                        "platform": spec.platform.name,
+                        "iterations": spec.iterations,
+                    },
+                )
+
+        self.last_stats = {
+            "jobs": len(specs),
+            "unique": len(unique),
+            "static": static,
+            "cache_hits": len(unique) - static - len(pending),
+            "executed": len(pending),
+        }
+
+        # Price every original spec against its shared record.
+        return [
+            self.harness.price_record(
+                records[spec.execution_key()],
+                spec.benchmark,
+                spec.simulator,
+                spec.arch,
+                spec.platform,
+                iterations=spec.iterations,
+                dbt_config=spec.dbt_config,
+                sim_kwargs=spec.sim_kwargs,
+            )
+            for spec in specs
+        ]
+
+    def _execute_pending(self, specs):
+        if not specs:
+            return []
+        if self.jobs > 1 and len(specs) > 1:
+            workers = min(self.jobs, len(specs))
+            with multiprocessing.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(self.harness.timing, self.harness.max_insns),
+            ) as pool:
+                return pool.map(_execute_job, specs, chunksize=1)
+        return [
+            self.harness.execute_benchmark(
+                spec.benchmark,
+                spec.simulator,
+                spec.arch,
+                spec.platform,
+                iterations=spec.iterations,
+                dbt_config=spec.dbt_config,
+                sim_kwargs=spec.sim_kwargs,
+            )
+            for spec in specs
+        ]
+
+    # ------------------------------------------------------------------
+    def run_suite(
+        self,
+        simulator,
+        arch,
+        platform,
+        benchmarks=None,
+        scale=1.0,
+        dbt_config=None,
+    ):
+        """Drop-in parallel/cached equivalent of ``Harness.run_suite``."""
+        if benchmarks is None:
+            benchmarks = SUITE
+        specs = [
+            JobSpec(
+                benchmark,
+                simulator,
+                arch,
+                platform,
+                iterations=max(1, int(benchmark.default_iterations * scale)),
+                dbt_config=dbt_config,
+            )
+            for benchmark in benchmarks
+        ]
+        return SuiteResult(simulator, arch.name, platform.name, self.run(specs))

@@ -14,6 +14,9 @@ class AssemblerError(ReproError):
             message = "line %d: %s" % (line, message)
         super().__init__(message)
 
+    def __reduce__(self):
+        return (type(self), (str(self),), {"line": self.line})
+
 
 class DecodeError(ReproError):
     """Raised when an instruction word cannot be decoded.
@@ -32,6 +35,9 @@ class CompileError(ReproError):
             message = "line %d: %s" % (line, message)
         super().__init__(message)
 
+    def __reduce__(self):
+        return (type(self), (str(self),), {"line": self.line})
+
 
 class MachineError(ReproError):
     """Raised on invalid machine configuration or physical access."""
@@ -44,6 +50,9 @@ class BusError(MachineError):
         self.paddr = paddr
         self.access = access
         super().__init__("bus error: %s at physical address 0x%08x" % (access, paddr))
+
+    def __reduce__(self):
+        return (type(self), (self.paddr, self.access))
 
 
 class UnsupportedFeatureError(ReproError):
@@ -59,6 +68,9 @@ class UnsupportedFeatureError(ReproError):
         self.feature = feature
         super().__init__("%s does not implement %s" % (simulator, feature))
 
+    def __reduce__(self):
+        return (type(self), (self.simulator, self.feature))
+
 
 class GuestHalted(ReproError):
     """Internal signal used by engines when the guest executes HALT."""
@@ -66,6 +78,9 @@ class GuestHalted(ReproError):
     def __init__(self, code):
         self.code = code
         super().__init__("guest halted with code %d" % code)
+
+    def __reduce__(self):
+        return (type(self), (self.code,))
 
 
 class HarnessError(ReproError):

@@ -25,9 +25,17 @@ from repro.sim.base import (
     RunResult,
     Simulator,
 )
+from repro.sim.costs import (
+    dbt_cost_model,
+    detailed_cost_model,
+    interp_cost_model,
+    native_cost_model,
+    virt_cost_model,
+)
 from repro.sim.interp import FastInterpreter
 from repro.sim.detailed import DetailedInterpreter
 from repro.sim.dbt import DBTSimulator
+from repro.sim.dbt.config import DBTConfig
 from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
 from repro.sim.virt import VirtSimulator
 from repro.sim.native import NativeMachine
@@ -53,6 +61,34 @@ def create_simulator(kind, board, arch, **kwargs):
     return cls(board, arch=arch, **kwargs)
 
 
+def cost_model_for(kind, arch=None, dbt_config=None, sim_kwargs=None):
+    """The cost model a :func:`create_simulator` instance would carry.
+
+    Lets callers price a recorded counter delta without instantiating
+    (or running) an engine -- the basis of the "execute once, price
+    many" result cache.  ``dbt_config``/``sim_kwargs`` mirror the
+    harness arguments; a ``config`` entry in ``sim_kwargs`` wins, as it
+    does when constructing the engine.
+    """
+    arch_name = getattr(arch, "name", arch) or "arm"
+    if kind == "qemu-dbt":
+        config = (sim_kwargs or {}).get("config", dbt_config)
+        if config is None:
+            config = DBTConfig()
+        return dbt_cost_model(config.cost_overrides)
+    if kind == "simit":
+        return interp_cost_model()
+    if kind == "gem5":
+        return detailed_cost_model()
+    if kind == "qemu-kvm":
+        return virt_cost_model(arch_name)
+    if kind == "native":
+        return native_cost_model(arch_name)
+    raise KeyError(
+        "unknown simulator %r (available: %s)" % (kind, ", ".join(sorted(SIMULATOR_CLASSES)))
+    )
+
+
 __all__ = [
     "Counters",
     "CostModel",
@@ -68,4 +104,5 @@ __all__ = [
     "dbt_config_for_version",
     "SIMULATOR_CLASSES",
     "create_simulator",
+    "cost_model_for",
 ]

@@ -10,6 +10,10 @@ from repro.sim.dbt.translator import Translator
 MASK32 = 0xFFFFFFFF
 PAGE_SHIFT = 12
 
+#: Upper bound on cached fetch translations; overflow evicts the
+#: oldest entry (insertion order) instead of dropping the whole map.
+FTLB_CAPACITY = 4096
+
 
 class GuestUndef(Exception):
     """Raised by helpers when the current instruction must UNDEF."""
@@ -75,6 +79,7 @@ class DBTSimulator(Simulator):
         self._tlb = [None] * (self._tlb_mask + 1)
         current = self._cp15.asid if self.config.asid_tagged else 0
         self._tlb_arrays = {current: self._tlb}
+        self._ftlb.clear()
 
     def _on_tlb_invalidate(self, vaddr):
         self.counters.tlb_invalidations += 1
@@ -82,6 +87,7 @@ class DBTSimulator(Simulator):
         slot = self._tlb[(vaddr >> PAGE_SHIFT) & self._tlb_mask]
         if slot is not None and slot[0] == key:
             self._tlb[(vaddr >> PAGE_SHIFT) & self._tlb_mask] = None
+        self._ftlb.pop(vaddr >> PAGE_SHIFT, None)
 
     def _on_asid_write(self, asid):
         """Address-space switch: swap to the context's own softmmu
@@ -98,6 +104,9 @@ class DBTSimulator(Simulator):
         else:
             self._tlb = [None] * (self._tlb_mask + 1)
             self._tlb_arrays = {0: self._tlb}
+        # Fetch translations are not ASID-tagged, so an address-space
+        # switch must drop them even when the data side retags.
+        self._ftlb.clear()
 
     # ------------------------------------------------------------------
     # Softmmu data path
@@ -279,9 +288,10 @@ class DBTSimulator(Simulator):
                 self._cp15.ttbr, vaddr, AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL
             )
             entry = result.narrow(vaddr)
-            if len(self._ftlb) > 4096:
-                self._ftlb.clear()
-            self._ftlb[vpage] = entry
+            ftlb = self._ftlb
+            if len(ftlb) >= FTLB_CAPACITY:
+                del ftlb[next(iter(ftlb))]
+            ftlb[vpage] = entry
         elif not entry.allows(AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL):
             raise Fault(FaultType.PERMISSION, vaddr, AccessType.EXECUTE)
         return entry.ppage | (vaddr & 0xFFF)

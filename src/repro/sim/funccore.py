@@ -71,12 +71,23 @@ class FunctionalCore(Simulator):
         self._dtlb = dtlb if dtlb is not None else SoftTLB(capacity=64)
         self._itlb = itlb if itlb is not None else SoftTLB(capacity=32)
         self._use_decode_cache = use_decode_cache
-        self._decode_map = {}
+        #: Decoded-instruction cache, one dict per physical page
+        #: (``ppage -> {paddr: (word, insn)}``) so an SMC invalidation
+        #: drops the whole page in O(1) instead of probing every
+        #: word-aligned address in it.
+        self._decode_pages = {}
         self._code_pages = set()
         #: Pages that ever contained executed code (never pruned); used
         #: to account ``code_writes`` -- the tested operation of the
         #: Code Generation benchmarks.
         self._exec_pages = set()
+        #: Last-page fetch fast path: ``(vpage, kernel, mmu_on, data,
+        #: page_off, ppage)`` for the most recently fetched code page.
+        #: ``data``/``page_off`` index the page's RAM region directly.
+        #: Invalidated on TLB maintenance and address-space switches;
+        #: SCTLR.M and the privilege mode are part of the key, so mode
+        #: or translation-regime changes miss naturally.
+        self._fetch_state = None
         self._cp15.tlb_flush_hook = self._on_tlb_flush
         self._cp15.tlb_invalidate_hook = self._on_tlb_invalidate
         self._cp15.asid_hook = self._on_asid_write
@@ -88,10 +99,12 @@ class FunctionalCore(Simulator):
     def _on_tlb_flush(self):
         self.counters.tlb_flushes += 1
         self._dtlb.flush()
+        self._fetch_state = None
 
     def _on_tlb_invalidate(self, vaddr):
         self.counters.tlb_invalidations += 1
         self._dtlb.invalidate(vaddr)
+        self._fetch_state = None
 
     def _on_asid_write(self, asid):
         """Address-space switch: retag if the TLB supports ASIDs,
@@ -101,6 +114,7 @@ class FunctionalCore(Simulator):
             self._dtlb.current_asid = asid
         else:
             self._dtlb.flush()
+        self._fetch_state = None
 
     # ------------------------------------------------------------------
     # Address translation
@@ -191,16 +205,23 @@ class FunctionalCore(Simulator):
     def _invalidate_code_page(self, ppage):
         """Self-modifying code: drop cached decodes for the page."""
         self.counters.smc_invalidations += 1
-        base = ppage << PAGE_SHIFT
-        dmap = self._decode_map
-        for addr in range(base, base + (1 << PAGE_SHIFT), 4):
-            dmap.pop(addr, None)
+        self._decode_pages.pop(ppage, None)
         self._code_pages.discard(ppage)
 
     # ------------------------------------------------------------------
     # Fetch and decode
     # ------------------------------------------------------------------
     def _fetch(self, pc):
+        state = self._fetch_state
+        if (
+            state is not None
+            and state[0] == pc >> PAGE_SHIFT
+            and state[1] == (self.cpu.psr & PSR_MODE_KERNEL)
+            and state[2] == (self._cp15.sctlr & 1)
+        ):
+            off = state[4] + (pc & 0xFFF)
+            word = int.from_bytes(state[3][off : off + 4], "little")
+            return self._decode_at((state[5] << PAGE_SHIFT) | (pc & 0xFFF), word)
         paddr = self._translate_fetch(pc)
         memory = self._memory
         region = memory.find_ram(paddr, 4)
@@ -208,19 +229,42 @@ class FunctionalCore(Simulator):
             raise Fault(FaultType.BUS, pc, AccessType.EXECUTE)
         off = paddr - region.base
         word = int.from_bytes(region.data[off : off + 4], "little")
+        page_base = paddr & ~0xFFF
+        # Cache the page for subsequent same-page fetches; require the
+        # page (plus an unaligned-fetch spill word) to sit fully inside
+        # the region so the fast path can never read past it.
+        if region.contains(page_base, (1 << PAGE_SHIFT) + 4):
+            self._fetch_state = (
+                pc >> PAGE_SHIFT,
+                self.cpu.psr & PSR_MODE_KERNEL,
+                self._cp15.sctlr & 1,
+                region.data,
+                page_base - region.base,
+                paddr >> PAGE_SHIFT,
+            )
+        return self._decode_at(paddr, word)
+
+    def _decode_at(self, paddr, word):
+        """Decode ``word`` at ``paddr`` through the per-page decode
+        cache (when enabled), preserving hit/miss accounting."""
         if not self._use_decode_cache:
             self.counters.decode_misses += 1
             self._exec_pages.add(paddr >> PAGE_SHIFT)
             return decode(word)
-        entry = self._decode_map.get(paddr)
-        if entry is not None and entry[0] == word:
-            self.counters.decode_hits += 1
-            return entry[1]
+        ppage = paddr >> PAGE_SHIFT
+        page = self._decode_pages.get(ppage)
+        if page is None:
+            page = self._decode_pages[ppage] = {}
+        else:
+            entry = page.get(paddr)
+            if entry is not None and entry[0] == word:
+                self.counters.decode_hits += 1
+                return entry[1]
         self.counters.decode_misses += 1
         insn = decode(word)
-        self._decode_map[paddr] = (word, insn)
-        self._code_pages.add(paddr >> PAGE_SHIFT)
-        self._exec_pages.add(paddr >> PAGE_SHIFT)
+        page[paddr] = (word, insn)
+        self._code_pages.add(ppage)
+        self._exec_pages.add(ppage)
         return insn
 
     # ------------------------------------------------------------------

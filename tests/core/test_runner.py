@@ -1,0 +1,305 @@
+"""Experiment-runner and result-cache tests.
+
+The contracts under test:
+
+- structurally-equal jobs share one execution, and pricing per spec
+  reproduces exactly what naive serial execution would have produced;
+- ``jobs=N`` fan-out never changes results (merge is deterministic, in
+  submission order);
+- a warm cache reproduces a cold run exactly while executing zero
+  guest instructions;
+- the cache key tracks everything the stored delta depends on
+  (iterations, structural config, counter schema) and nothing it does
+  not (cost overrides).
+"""
+
+import pytest
+
+from repro.analysis import figures
+from repro.analysis.sweep import VersionSweep
+from repro.arch import ARM
+from repro.core import (
+    ExecutionRecord,
+    ExperimentRunner,
+    Harness,
+    JobSpec,
+    ResultCache,
+    TimingPolicy,
+    get_benchmark,
+    job_fingerprint,
+    structural_key,
+)
+from repro.core import resultcache
+from repro.errors import UnsupportedFeatureError
+from repro.platform import VEXPRESS
+from repro.sim.dbt.config import DBTConfig
+from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
+
+
+def _dicts(results, with_wall=True):
+    dicts = [res.as_dict() for res in results]
+    if not with_wall:
+        for entry in dicts:
+            entry.pop("kernel_wall_ns")
+    return dicts
+
+
+class _CountingHarness(Harness):
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.executions = 0
+
+    def execute_benchmark(self, *args, **kwargs):
+        self.executions += 1
+        return super().execute_benchmark(*args, **kwargs)
+
+
+class TestStructuralKey:
+    def test_cost_overrides_do_not_matter(self):
+        a = dbt_config_for_version("v2.1.0", "arm")
+        b = dbt_config_for_version("v2.4.1", "arm")
+        assert a.cost_overrides != b.cost_overrides
+        assert structural_key("qemu-dbt", a) == structural_key("qemu-dbt", b)
+
+    def test_structure_matters(self):
+        old = dbt_config_for_version("v1.7.0", "arm")  # tlb_bits=7
+        new = dbt_config_for_version("v2.5.0-rc2", "arm")  # tlb_bits=8
+        assert structural_key("qemu-dbt", old) != structural_key("qemu-dbt", new)
+
+    def test_sim_kwargs_matter(self):
+        assert structural_key("qemu-dbt", None, {"asid_tagged": True}) != structural_key(
+            "qemu-dbt", None, {}
+        )
+        assert structural_key("simit", None, {"x": 1}) != structural_key("simit")
+
+    def test_engines_distinct(self):
+        assert structural_key("simit") != structural_key("gem5")
+
+
+class TestJobSpec:
+    def test_resolves_benchmark_names(self):
+        spec = JobSpec("System Call", "simit", ARM, VEXPRESS)
+        assert spec.benchmark is get_benchmark("System Call")
+        assert spec.iterations == spec.benchmark.default_iterations
+
+    def test_executes_flags_static_outcomes(self):
+        ok = JobSpec("System Call", "simit", ARM, VEXPRESS)
+        assert ok.executes()
+        # Figure 7's static dagger: Gem5 lacks the test device entirely.
+        dagger = JobSpec("Memory Mapped Device", "gem5", ARM, VEXPRESS)
+        assert not dagger.executes()
+        # The external-interrupt dagger is detected dynamically instead,
+        # so the job nominally executes (and the record is cacheable).
+        dynamic = JobSpec("External Software Interrupt", "gem5", ARM, VEXPRESS)
+        assert dynamic.executes()
+
+
+class TestDeduplication:
+    def test_sweep_grid_executes_once_per_structural_group(self):
+        harness = _CountingHarness(timing=TimingPolicy.MODELED)
+        runner = ExperimentRunner(harness=harness)
+        benchmark = get_benchmark("System Call")
+        specs = [
+            JobSpec(
+                benchmark,
+                "qemu-dbt",
+                ARM,
+                VEXPRESS,
+                iterations=20,
+                dbt_config=dbt_config_for_version(version, "arm"),
+            )
+            for version in QEMU_VERSIONS
+        ]
+        results = runner.run(specs)
+        assert len(results) == len(QEMU_VERSIONS)
+        assert all(res.ok for res in results)
+        # Only two structural configurations exist in the timeline.
+        assert harness.executions == 2
+        assert runner.last_stats == {
+            "jobs": 20,
+            "unique": 2,
+            "static": 0,
+            "cache_hits": 0,
+            "executed": 2,
+        }
+
+    def test_deduped_results_match_naive_serial(self):
+        benchmark = get_benchmark("System Call")
+        naive = Harness(timing=TimingPolicy.MODELED)
+        expected = [
+            naive.run_benchmark(
+                benchmark,
+                "qemu-dbt",
+                ARM,
+                VEXPRESS,
+                iterations=20,
+                dbt_config=dbt_config_for_version(version, "arm"),
+            )
+            for version in QEMU_VERSIONS
+        ]
+        runner = ExperimentRunner()
+        got = runner.run(
+            [
+                JobSpec(
+                    benchmark,
+                    "qemu-dbt",
+                    ARM,
+                    VEXPRESS,
+                    iterations=20,
+                    dbt_config=dbt_config_for_version(version, "arm"),
+                )
+                for version in QEMU_VERSIONS
+            ]
+        )
+        assert _dicts(got, with_wall=False) == _dicts(expected, with_wall=False)
+
+
+class TestParallelDeterminism:
+    def test_figure7_grid_parallel_equals_serial(self):
+        serial = figures.figure7(scale=0.1)
+        parallel = figures.figure7(scale=0.1, runner=ExperimentRunner(jobs=4))
+        assert parallel == serial
+
+    def test_figure6_grid_parallel_equals_serial(self):
+        serial = figures.figure6(scale=0.05)
+        parallel = figures.figure6(
+            scale=0.05, runner=ExperimentRunner(jobs=4)
+        )
+        assert parallel == serial
+
+    def test_suite_parallel_equals_serial(self):
+        kwargs = dict(scale=0.05)
+        serial = ExperimentRunner(jobs=1).run_suite("simit", ARM, VEXPRESS, **kwargs)
+        parallel = ExperimentRunner(jobs=4).run_suite("simit", ARM, VEXPRESS, **kwargs)
+        assert _dicts(parallel, with_wall=False) == _dicts(serial, with_wall=False)
+
+    def test_parallel_error_statuses_survive_the_pool(self):
+        # gem5's dagger rows are static, but parallel pools must also
+        # transport dynamic statuses; run the full gem5 suite both ways.
+        serial = ExperimentRunner(jobs=1).run_suite("gem5", ARM, VEXPRESS, scale=0.05)
+        parallel = ExperimentRunner(jobs=4).run_suite("gem5", ARM, VEXPRESS, scale=0.05)
+        assert [res.status for res in parallel] == [res.status for res in serial]
+        assert "unsupported" in {res.status for res in parallel}
+
+
+class TestResultCache:
+    def test_warm_run_is_exact_and_executes_nothing(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        cold_runner = ExperimentRunner(cache=ResultCache(cache_dir))
+        cold = cold_runner.run_suite("simit", ARM, VEXPRESS, scale=0.05)
+        assert cold_runner.last_stats["cache_hits"] == 0
+        assert cold_runner.last_stats["executed"] == len(cold)
+
+        # A warm run must never instantiate an engine.
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("guest execution attempted on a warm cache")
+
+        monkeypatch.setattr("repro.core.harness.create_simulator", _forbidden)
+        warm_runner = ExperimentRunner(cache=ResultCache(cache_dir))
+        warm = warm_runner.run_suite("simit", ARM, VEXPRESS, scale=0.05)
+        assert warm_runner.last_stats["cache_hits"] == len(cold)
+        assert warm_runner.last_stats["executed"] == 0
+        # Exact reproduction, wall-clock fields included (they come from
+        # the cached record).
+        assert _dicts(warm) == _dicts(cold)
+
+    def test_version_sweep_warms_from_structural_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep = VersionSweep(ARM, VEXPRESS, runner=ExperimentRunner(cache=cache))
+        benchmark = get_benchmark("TLB Flush")
+        cold = sweep.run(benchmark, iterations=20)
+        assert cache.stores == 2  # one per structural group
+        warm_sweep = VersionSweep(
+            ARM, VEXPRESS, runner=ExperimentRunner(cache=ResultCache(tmp_path / "cache"))
+        )
+        warm = warm_sweep.run(benchmark, iterations=20)
+        assert warm.seconds == cold.seconds
+        assert warm_sweep.runner.last_stats["executed"] == 0
+
+    def test_wallclock_timing_bypasses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        harness = Harness(timing=TimingPolicy.WALLCLOCK)
+        runner = ExperimentRunner(harness=harness, cache=cache)
+        runner.run([JobSpec("System Call", "simit", ARM, VEXPRESS, iterations=10)])
+        assert cache.stores == 0
+        assert cache.stats()["entries"] == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = JobSpec("System Call", "simit", ARM, VEXPRESS, iterations=10)
+        runner = ExperimentRunner(cache=cache)
+        runner.run([spec])
+        path = cache._path(spec.fingerprint())
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        fresh = ResultCache(tmp_path / "cache")
+        assert fresh.get(spec.fingerprint()) is None
+        # And a re-run repairs the entry.
+        rerun = ExperimentRunner(cache=fresh)
+        results = rerun.run([spec])
+        assert results[0].ok
+        assert fresh.get(spec.fingerprint()) is not None
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = ExperimentRunner(cache=cache)
+        runner.run(
+            [
+                JobSpec("System Call", "simit", ARM, VEXPRESS, iterations=10),
+                JobSpec("TLB Flush", "simit", ARM, VEXPRESS, iterations=10),
+            ]
+        )
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+    def test_unsupported_record_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        record = ExecutionRecord(
+            status="unsupported", error=UnsupportedFeatureError("gem5", "testctl")
+        )
+        cache.put("ab" + "0" * 62, record)
+        loaded = cache.get("ab" + "0" * 62)
+        assert loaded.status == "unsupported"
+        assert isinstance(loaded.error, UnsupportedFeatureError)
+        assert loaded.error.simulator == "gem5"
+        assert loaded.error.feature == "testctl"
+
+
+class TestCacheKey:
+    def _fingerprint(self, **overrides):
+        params = dict(
+            benchmark=get_benchmark("System Call"),
+            simulator="qemu-dbt",
+            arch=ARM,
+            platform=VEXPRESS,
+            iterations=20,
+            structure=structural_key("qemu-dbt", DBTConfig()),
+        )
+        params.update(overrides)
+        return job_fingerprint(**params)
+
+    def test_iterations_change_key(self):
+        assert self._fingerprint() != self._fingerprint(iterations=21)
+
+    def test_structural_config_changes_key(self):
+        other = structural_key("qemu-dbt", DBTConfig(tlb_bits=7))
+        assert self._fingerprint() != self._fingerprint(structure=other)
+
+    def test_cost_overrides_share_key(self):
+        a = structural_key("qemu-dbt", dbt_config_for_version("v2.1.0", "arm"))
+        b = structural_key("qemu-dbt", dbt_config_for_version("v2.4.1", "arm"))
+        assert self._fingerprint(structure=a) == self._fingerprint(structure=b)
+
+    def test_benchmark_and_arch_change_key(self):
+        assert self._fingerprint() != self._fingerprint(
+            benchmark=get_benchmark("TLB Flush")
+        )
+        assert self._fingerprint() != self._fingerprint(simulator="simit")
+
+    def test_schema_version_changes_key(self, monkeypatch):
+        before = self._fingerprint()
+        monkeypatch.setattr(resultcache, "COST_SCHEMA_VERSION", 2)
+        assert self._fingerprint() != before

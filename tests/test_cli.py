@@ -56,6 +56,31 @@ class TestSuiteCommand:
         assert out.count("iterations") >= 17
 
 
+class TestRunnerOptions:
+    def test_suite_parallel_with_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["suite", "--sim", "simit", "--scale", "0.05", "--cache-dir", cache_dir]
+        assert main(args + ["--jobs", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert captured.out == cold  # warm run reproduces the cold run
+        assert "cache hits" in captured.err
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["suite", "--sim", "simit", "--scale", "0.05",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 18" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 18" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+
 class TestFigureCommand:
     def test_figure1(self, capsys):
         assert main(["figure", "1"]) == 0
