@@ -11,19 +11,19 @@ EXPERIMENTS.md for the side-by-side record.
 from repro.analysis.stats import geomean
 from repro.analysis.sweep import VersionSweep
 from repro.arch import ARM, X86
-from repro.core.density import density_table
+from repro.core.density import REFERENCE_SIMULATOR, density_table
 from repro.core.harness import Harness, TimingPolicy
 from repro.core.runner import ExperimentRunner, JobSpec
 from repro.core.suite import SUITE, GROUPS, benchmarks_in_group
-from repro.machine import Board
 from repro.platform import PCPLAT, VEXPRESS
-from repro.sim import create_simulator
 from repro.sim.dbt.versions import QEMU_VERSIONS
+from repro.sim.spec import DBTSpec, InterpSpec, NativeSpec, SPEC_CLASSES, VirtSpec, engines_for_arch
 from repro.workloads import SPEC_PROXIES
 
-#: The Figure 7 column layouts per guest architecture.
-ARM_SIMULATORS = ("qemu-dbt", "simit", "gem5", "qemu-kvm", "native")
-X86_SIMULATORS = ("qemu-dbt", "qemu-kvm", "native")
+#: The Figure 7 column layouts per guest architecture, derived from the
+#: engine registry (each spec class declares ``evaluated_archs``).
+ARM_SIMULATORS = engines_for_arch("arm")
+X86_SIMULATORS = engines_for_arch("x86")
 
 
 def _default_env(arch):
@@ -136,7 +136,9 @@ def figure3(arch=ARM, platform=None, harness=None, scale=1.0, workload_scale=1.0
     deltas = []
     for workload in SPEC_PROXIES:
         iterations = max(1, int(workload.default_iterations * workload_scale))
-        result = harness.run_benchmark(workload, "simit", arch, platform, iterations=iterations)
+        result = harness.run_benchmark(
+            workload, REFERENCE_SIMULATOR, arch, platform, iterations=iterations
+        )
         if result.ok:
             deltas.append(result.kernel_delta)
     return density_table(arch, platform, workload_deltas=deltas, harness=harness, scale=scale)
@@ -149,15 +151,13 @@ def figure3(arch=ARM, platform=None, harness=None, scale=1.0, workload_scale=1.0
 
 def figure4(arch=ARM, platform=None):
     """The Figure 4 feature matrix, generated from the engines' own
-    ``feature_summary()`` implementations."""
+    ``feature_summary()`` implementations via the spec registry."""
     if platform is None:
         platform = _default_env(arch)[1]
-    matrix = {}
-    for name in ("qemu-dbt", "simit", "gem5", "qemu-kvm", "native"):
-        board = Board(platform)
-        simulator = create_simulator(name, board, arch)
-        matrix[name] = simulator.feature_summary()
-    return matrix
+    return {
+        name: spec_class().feature_summary(arch, platform)
+        for name, spec_class in SPEC_CLASSES.items()
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -310,7 +310,7 @@ def figure8(
 def explain_dbt_vs_interpreter(figure7_data):
     """Section III-B.1: which benchmarks favour DBT vs interpretation."""
     arm = figure7_data["seconds"]["arm"]
-    dbt, interp = arm["qemu-dbt"], arm["simit"]
+    dbt, interp = arm[DBTSpec.engine], arm[InterpSpec.engine]
     findings = []
     for name, dbt_seconds in dbt.items():
         interp_seconds = interp.get(name)
@@ -330,7 +330,7 @@ def explain_virtualization(figure7_data):
     native hardware."""
     divergences = {}
     for arch_name, table in figure7_data["seconds"].items():
-        kvm, native = table.get("qemu-kvm"), table.get("native")
+        kvm, native = table.get(VirtSpec.engine), table.get(NativeSpec.engine)
         if kvm is None or native is None:
             continue
         rows = []

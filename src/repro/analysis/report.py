@@ -13,6 +13,7 @@ from repro.arch import ARM
 from repro.core import Harness, PerformanceModel, TimingPolicy
 from repro.core.predict import predict_workloads
 from repro.platform import VEXPRESS
+from repro.sim.spec import DBTSpec
 from repro.workloads import SPEC_PROXIES
 
 
@@ -79,10 +80,11 @@ def generate_report(scale=0.5, harness=None, timestamp=None):
     sections.append(_block(figures.render_figure3(fig3, title="")))
 
     sections.append("## Contribution 3: predicting the SPEC proxies")
-    suite_result = harness.run_suite("qemu-dbt", ARM, VEXPRESS, scale=scale)
+    profile_spec = DBTSpec()
+    suite_result = harness.run_suite(profile_spec, ARM, VEXPRESS, scale=scale)
     model = PerformanceModel.fit(suite_result, ARM)
     rows = predict_workloads(
-        model, harness, SPEC_PROXIES, ARM, VEXPRESS, profile_simulator="qemu-dbt"
+        model, harness, SPEC_PROXIES, ARM, VEXPRESS, profile_simulator=profile_spec
     )
     lines = ["%-12s %14s %14s %9s" % ("workload", "predicted(ms)", "measured(ms)", "error")]
     for name, predicted, measured, error in rows:

@@ -8,15 +8,17 @@ and then prices the recorded kernel counter delta under every version's
 cost table.  This keeps the sweep honest -- counts come from real runs
 on the right structure -- while staying fast.
 
-The grouping itself lives in the experiment runner
-(:func:`repro.core.runner.structural_key`): the sweep simply submits
-one job per (benchmark, version) and lets the runner deduplicate,
-cache and parallelise the executions.
+The grouping itself lives in the engine-spec layer
+(:meth:`repro.sim.spec.EngineSpec.structural_key`): the sweep builds
+one :class:`~repro.sim.spec.DBTSpec` per version up front, submits one
+job per (benchmark, version) and lets the runner deduplicate, cache
+and parallelise the executions.
 """
 
 from repro.core.harness import Harness, TimingPolicy
-from repro.core.runner import ExperimentRunner, JobSpec, structural_key
+from repro.core.runner import ExperimentRunner, JobSpec
 from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
+from repro.sim.spec import DBTSpec
 
 
 class SweepSeries:
@@ -39,10 +41,6 @@ class SweepSeries:
         return "SweepSeries(%s, %d versions)" % (self.name, len(self.versions))
 
 
-def _structural_key(config):
-    return structural_key("qemu-dbt", dbt_config=config)
-
-
 class VersionSweep:
     """Runs benchmarks/workloads across the QEMU version timeline."""
 
@@ -55,14 +53,17 @@ class VersionSweep:
             runner = ExperimentRunner(harness=harness)
         self.runner = runner
         self.harness = runner.harness
-        self._configs = {
-            version: dbt_config_for_version(version, arch.name) for version in self.versions
+        # One engine spec per version, built up front: the whole sweep
+        # is described before anything executes.
+        self.engine_specs = {
+            version: DBTSpec.from_config(dbt_config_for_version(version, arch.name))
+            for version in self.versions
         }
 
     def _structural_groups(self):
         groups = {}
         for version in self.versions:
-            key = _structural_key(self._configs[version])
+            key = self.engine_specs[version].structural_key()
             groups.setdefault(key, []).append(version)
         return groups
 
@@ -70,11 +71,10 @@ class VersionSweep:
         return [
             JobSpec(
                 benchmark,
-                "qemu-dbt",
+                self.engine_specs[version],
                 self.arch,
                 self.platform,
                 iterations=iterations,
-                dbt_config=self._configs[version],
             )
             for version in self.versions
         ]

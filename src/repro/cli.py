@@ -5,6 +5,9 @@ Commands
 ``list``
     Show the available benchmarks, simulators, architectures, platforms
     and QEMU-timeline versions.
+``engines``
+    Describe every registered engine from its spec: execution model,
+    configurable options, and the Figure 4 feature summary.
 ``run BENCHMARK``
     Run one benchmark (by Figure 3 name) on one simulator.
 ``suite``
@@ -42,7 +45,12 @@ from repro.core import (
 from repro.platform import PLATFORMS, get_platform
 from repro.sim import SIMULATOR_CLASSES
 from repro.sim.dbt.versions import QEMU_VERSIONS
+from repro.sim.spec import SPEC_CLASSES, spec_for
 from repro.workloads import SPEC_PROXIES
+
+
+class _CliError(Exception):
+    """User-input error; rendered to stderr with exit status 2."""
 
 
 def _default_platform(arch_name):
@@ -59,6 +67,44 @@ def _add_env_options(parser):
         choices=[policy.value for policy in TimingPolicy],
         help="modeled (deterministic) or wallclock host time",
     )
+    parser.add_argument(
+        "--engine-opt",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="set an engine spec field (repeatable; e.g. "
+        "--engine-opt tlb_bits=7 --engine-opt asid_tagged=true); "
+        "see `repro engines` for each engine's options",
+    )
+
+
+def _parse_opt_value(raw):
+    """Parse an --engine-opt value: bool/none/int/float, else string."""
+    lowered = raw.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for converter in (int, float):
+        try:
+            return converter(raw)
+        except ValueError:
+            pass
+    return raw
+
+
+def _engine_spec(args):
+    """The EngineSpec described by ``--sim`` plus any ``--engine-opt``."""
+    options = {}
+    for item in getattr(args, "engine_opt", None) or []:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise _CliError("--engine-opt expects KEY=VALUE, got %r" % item)
+        options[key.strip()] = _parse_opt_value(raw)
+    try:
+        return spec_for(args.sim, **options)
+    except ValueError as exc:
+        raise _CliError("engine configuration error: %s" % exc) from None
 
 
 def _add_runner_options(parser):
@@ -152,11 +198,47 @@ def _cmd_list(_args):
     return 0
 
 
+def _cmd_engines(args):
+    print("Engines (registry order = Figure 4/7 column order):")
+    for name, spec_class in SPEC_CLASSES.items():
+        spec = spec_class()
+        info = spec.describe()
+        print()
+        print("%s  (%s, %s)" % (name, info["class"], info["execution_model"]))
+        print("  evaluated archs: %s" % ", ".join(info["evaluated_archs"]))
+        tracing = []
+        if info["supports_insn_trace"]:
+            tracing.append("per-instruction (Tracer/Debugger)")
+        if info["supports_block_trace"]:
+            tracing.append("per-block (trace_blocks)")
+        print("  tracing: %s" % ("; ".join(tracing) or "none"))
+        print(
+            "  structural options: %s"
+            % (
+                ", ".join(
+                    "%s=%r" % item for item in info["structural"].items()
+                )
+                or "none"
+            )
+        )
+        if info["pricing"]:
+            print(
+                "  pricing options: %s"
+                % ", ".join("%s=%r" % item for item in info["pricing"].items())
+            )
+        if args.features:
+            print("  features (Figure 4):")
+            for feature, value in spec.feature_summary().items():
+                print("    %-26s %s" % (feature, value))
+    return 0
+
+
 def _cmd_run(args):
     harness, arch, platform = _environment(args)
     benchmark = get_benchmark(args.benchmark)
+    spec = _engine_spec(args)
     result = harness.run_benchmark(
-        benchmark, args.sim, arch, platform, iterations=args.iterations
+        benchmark, spec, arch, platform, iterations=args.iterations
     )
     _print_result(result)
     return 0 if result.status in ("ok", "not-applicable", "unsupported") else 1
@@ -165,10 +247,11 @@ def _cmd_run(args):
 def _cmd_suite(args):
     harness, arch, platform = _environment(args)
     runner = _runner_for(args, harness)
-    suite_result = runner.run_suite(args.sim, arch, platform, scale=args.scale)
+    spec = _engine_spec(args)
+    suite_result = runner.run_suite(spec, arch, platform, scale=args.scale)
     _report_runner(args, runner)
     print("SimBench on %s (%s guest, %s platform, %s time):"
-          % (args.sim, arch.name, platform.name, args.timing))
+          % (spec.engine, arch.name, platform.name, args.timing))
     failures = 0
     for result in suite_result:
         _print_result(result)
@@ -179,10 +262,11 @@ def _cmd_suite(args):
 
 def _cmd_workloads(args):
     harness, arch, platform = _environment(args)
-    print("SPEC proxies on %s (%s guest):" % (args.sim, arch.name))
+    spec = _engine_spec(args)
+    print("SPEC proxies on %s (%s guest):" % (spec.engine, arch.name))
     failures = 0
     for workload in SPEC_PROXIES:
-        result = harness.run_benchmark(workload, args.sim, arch, platform)
+        result = harness.run_benchmark(workload, spec, arch, platform)
         _print_result(result)
         if result.status == "error":
             failures += 1
@@ -305,6 +389,16 @@ def build_parser():
 
     sub.add_parser("list", help="show benchmarks, simulators, platforms")
 
+    p_engines = sub.add_parser(
+        "engines", help="describe the engine registry from its specs"
+    )
+    p_engines.add_argument(
+        "--no-features",
+        dest="features",
+        action="store_false",
+        help="omit the per-engine Figure 4 feature summary",
+    )
+
     p_run = sub.add_parser("run", help="run one benchmark")
     p_run.add_argument("benchmark")
     p_run.add_argument("--iterations", type=int, default=None)
@@ -351,6 +445,7 @@ def build_parser():
 
 _COMMANDS = {
     "list": _cmd_list,
+    "engines": _cmd_engines,
     "run": _cmd_run,
     "suite": _cmd_suite,
     "workloads": _cmd_workloads,
@@ -367,6 +462,9 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except _CliError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output was piped into something like `head`; exit quietly.
         try:

@@ -24,8 +24,8 @@ from repro.core.benchmark import BenchmarkResult
 from repro.core.program import PHASE_KERNEL_DONE, PHASE_SETUP_DONE
 from repro.core.suite import SUITE
 from repro.machine import Board
-from repro.sim import cost_model_for, create_simulator
 from repro.sim.base import Counters, ExitReason
+from repro.sim.spec import as_engine_spec
 
 
 class TimingPolicy(enum.Enum):
@@ -177,27 +177,27 @@ class Harness:
         :class:`ExecutionRecord` (the kernel-phase counter delta plus
         run status) -- no cost model is applied.
 
-        The record depends only on the job's *structural* inputs, so
-        two DBT configs differing only in cost overrides produce
+        ``simulator`` is an :class:`~repro.sim.spec.EngineSpec` or a
+        registry name (with the legacy ``dbt_config``/``sim_kwargs``
+        pair).  The record depends only on the spec's *structural*
+        fields, so two configs differing only in cost overrides produce
         identical records; :meth:`price_record` applies a specific cost
         table afterwards.
         """
+        spec = as_engine_spec(simulator, dbt_config, sim_kwargs)
         if iterations is None:
             iterations = benchmark.default_iterations
 
         if not benchmark.effective(arch):
             return ExecutionRecord(status="not-applicable")
-        if not benchmark.supported_by(simulator):
+        if not benchmark.supported_by(spec.engine):
             return ExecutionRecord(status="unsupported")
 
         built = self.build_program(benchmark, arch, platform)
         board = Board(platform)
         board.load(built.program)
         board.set_iterations(iterations)
-        kwargs = dict(sim_kwargs or {})
-        if simulator == "qemu-dbt" and dbt_config is not None:
-            kwargs["config"] = dbt_config
-        sim = create_simulator(simulator, board, arch, **kwargs)
+        sim = spec.build(board, arch)
 
         recorder = _PhaseRecorder(sim)
         board.testctl.on_phase = recorder
@@ -211,7 +211,7 @@ class Harness:
                 status="error",
                 error=HarnessError(
                     "%s did not halt (%s) on %s"
-                    % (benchmark.name, run.exit_reason.value, simulator)
+                    % (benchmark.name, run.exit_reason.value, spec.engine)
                 ),
             )
         if run.halt_code != 0:
@@ -248,13 +248,16 @@ class Harness:
         """Price an :class:`ExecutionRecord` under the engine's cost
         model and return a :class:`~repro.core.benchmark.BenchmarkResult`.
 
-        Under ``MODELED`` timing the result is a pure function of the
-        record and the cost table, so a cached record prices to exactly
-        the result a fresh execution would have produced.
+        ``simulator`` is a spec or a registry name, as in
+        :meth:`execute_benchmark`.  Under ``MODELED`` timing the result
+        is a pure function of the record and the spec's cost table, so
+        a cached record prices to exactly the result a fresh execution
+        would have produced.
         """
+        spec = as_engine_spec(simulator, dbt_config, sim_kwargs)
         if iterations is None:
             iterations = benchmark.default_iterations
-        result = BenchmarkResult(benchmark.name, simulator, arch.name, platform.name)
+        result = BenchmarkResult(benchmark.name, spec.engine, arch.name, platform.name)
         result.iterations = iterations
         result.paper_iterations = benchmark.paper_iterations
         result.status = record.status
@@ -266,8 +269,7 @@ class Harness:
         result.kernel_instructions = delta["instructions"]
         result.kernel_wall_ns = record.kernel_wall_ns
         if self.timing is TimingPolicy.MODELED:
-            model = cost_model_for(simulator, arch, dbt_config, sim_kwargs)
-            result.kernel_ns = model.evaluate(delta)
+            result.kernel_ns = spec.cost_model(arch).evaluate(delta)
         else:
             result.kernel_ns = float(record.kernel_wall_ns)
         result.total_instructions = record.total_instructions
@@ -289,30 +291,18 @@ class Harness:
         """Run one benchmark on one simulator and return a
         :class:`~repro.core.benchmark.BenchmarkResult`.
 
-        ``simulator`` is a registry name (see
-        :data:`repro.sim.SIMULATOR_CLASSES`); ``dbt_config`` applies
-        only to the DBT engine; ``sim_kwargs`` are passed through to the
-        simulator constructor (e.g. ``{"asid_tagged": True}``).  This is
+        ``simulator`` is an :class:`~repro.sim.spec.EngineSpec` or a
+        registry name (see :data:`repro.sim.SIMULATOR_CLASSES`); the
+        legacy ``dbt_config``/``sim_kwargs`` pair is folded into the
+        spec (e.g. ``sim_kwargs={"asid_tagged": True}``).  This is
         :meth:`execute_benchmark` followed by :meth:`price_record`.
         """
+        spec = as_engine_spec(simulator, dbt_config, sim_kwargs)
         record = self.execute_benchmark(
-            benchmark,
-            simulator,
-            arch,
-            platform,
-            iterations=iterations,
-            dbt_config=dbt_config,
-            sim_kwargs=sim_kwargs,
+            benchmark, spec, arch, platform, iterations=iterations
         )
         return self.price_record(
-            record,
-            benchmark,
-            simulator,
-            arch,
-            platform,
-            iterations=iterations,
-            dbt_config=dbt_config,
-            sim_kwargs=sim_kwargs,
+            record, benchmark, spec, arch, platform, iterations=iterations
         )
 
     # ------------------------------------------------------------------
@@ -366,6 +356,7 @@ class Harness:
         ``scale`` multiplies every benchmark's default iteration count,
         letting callers trade run time for measurement stability.
         """
+        spec = as_engine_spec(simulator, dbt_config)
         if benchmarks is None:
             benchmarks = SUITE
         results = []
@@ -373,12 +364,7 @@ class Harness:
             iterations = max(1, int(benchmark.default_iterations * scale))
             results.append(
                 self.run_benchmark(
-                    benchmark,
-                    simulator,
-                    arch,
-                    platform,
-                    iterations=iterations,
-                    dbt_config=dbt_config,
+                    benchmark, spec, arch, platform, iterations=iterations
                 )
             )
-        return SuiteResult(simulator, arch.name, platform.name, results)
+        return SuiteResult(spec.engine, arch.name, platform.name, results)

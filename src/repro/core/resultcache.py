@@ -27,10 +27,12 @@ import tempfile
 from repro.core.harness import ExecutionRecord
 from repro.sim.base import COUNTER_NAMES
 
-#: Bump when the meaning of stored deltas changes (e.g. counter
-#: semantics, phase-marker protocol).  Vocabulary changes are caught
-#: automatically by the counter-name hash in :func:`schema_tag`.
-COST_SCHEMA_VERSION = 1
+#: Bump when the meaning of stored deltas or the key format changes
+#: (e.g. counter semantics, phase-marker protocol, fingerprint layout).
+#: Vocabulary changes are caught automatically by the counter-name hash
+#: in :func:`schema_tag`.  Version 2: structural signatures are
+#: EngineSpec ``cache_key_payload`` dicts rather than ad-hoc tuples.
+COST_SCHEMA_VERSION = 2
 
 
 def schema_tag():
@@ -42,10 +44,13 @@ def schema_tag():
 def job_fingerprint(benchmark, simulator, arch, platform, iterations, structure):
     """The cache key for one execution job.
 
-    ``structure`` is the job's structural signature (see
-    :func:`repro.core.runner.structural_key`) -- any JSON-serialisable
-    value; configs differing only in cost overrides must map to the
-    same ``structure`` so a single stored record serves all of them.
+    ``structure`` is the job's structural signature (normally
+    :meth:`~repro.sim.spec.EngineSpec.cache_key_payload`) and must be
+    strictly JSON-serialisable -- values whose only encoding would be
+    an unstable ``repr`` (live objects, addresses) raise
+    :class:`ValueError` instead of silently splitting the cache.
+    Configs differing only in cost overrides must map to the same
+    ``structure`` so a single stored record serves all of them.
     """
     ident = {
         "schema": schema_tag(),
@@ -60,7 +65,12 @@ def job_fingerprint(benchmark, simulator, arch, platform, iterations, structure)
     source = getattr(benchmark, "source", None)
     if source is not None:
         ident["source"] = hashlib.sha256(source.encode("utf-8")).hexdigest()
-    blob = json.dumps(ident, sort_keys=True, default=str)
+    try:
+        blob = json.dumps(ident, sort_keys=True)
+    except TypeError as exc:
+        raise ValueError(
+            "cache fingerprint inputs must be JSON-serialisable: %s" % exc
+        ) from None
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

@@ -2,14 +2,14 @@
 
 Every evaluation driver (suite runs, the figure generators, the QEMU
 version sweep) reduces to the same shape: a grid of *job specs* --
-(benchmark, simulator, arch, platform, iterations, config) tuples --
-whose results are assembled into tables.  The runner executes such a
-grid efficiently while keeping results bit-for-bit equal to naive
-serial execution:
+(benchmark, engine spec, arch, platform, iterations) tuples -- whose
+results are assembled into tables.  The runner executes such a grid
+efficiently while keeping results bit-for-bit equal to naive serial
+execution:
 
 - jobs whose *structural* inputs coincide share one execution (the
   generalisation of the version sweep's structural grouping to every
-  engine: DBT configs differing only in cost overrides, or plainly
+  engine: engine specs differing only in pricing fields, or plainly
   repeated jobs, execute once and are priced per spec);
 - unique executions are optionally fanned out over a ``multiprocessing``
   pool (``jobs=N``); results are merged in submission order, so
@@ -18,6 +18,12 @@ serial execution:
   kernel counter deltas across processes, letting warm runs re-price
   without executing a single guest instruction.  The cache is only
   consulted under the deterministic MODELED timing policy.
+
+Engine configuration is described exclusively by
+:class:`~repro.sim.spec.EngineSpec`; :class:`JobSpec` is therefore
+canonically JSON-serializable (:meth:`JobSpec.to_payload`), which is
+what makes pool transport -- and future sharded/remote execution --
+possible without pickling live engine state.
 """
 
 import multiprocessing
@@ -25,7 +31,7 @@ import multiprocessing
 from repro.core.harness import Harness, SuiteResult, TimingPolicy
 from repro.core.resultcache import job_fingerprint
 from repro.core.suite import SUITE, get_benchmark
-from repro.sim.dbt.config import DBTConfig
+from repro.sim.spec import EngineSpec, as_engine_spec
 
 
 def structural_key(simulator, dbt_config=None, sim_kwargs=None):
@@ -34,45 +40,50 @@ def structural_key(simulator, dbt_config=None, sim_kwargs=None):
     Two jobs with equal structural keys (and equal benchmark, arch,
     platform and iterations) execute identical guest instruction
     streams and produce identical kernel counter deltas, so they can
-    share one execution.  For the DBT engine this is the config minus
-    its cost overrides; for every other engine it is the engine name
-    plus any constructor kwargs.
+    share one execution.  This is
+    :meth:`~repro.sim.spec.EngineSpec.structural_key` after folding the
+    legacy ``(name, dbt_config, sim_kwargs)`` triple into a spec;
+    object-valued options raise :class:`ValueError` instead of leaking
+    an unstable ``repr`` into the key.
     """
-    kwargs = dict(sim_kwargs or {})
-    if simulator == "qemu-dbt":
-        config = kwargs.pop("config", None)
-        if config is None:
-            config = dbt_config
-        if config is None:
-            config = DBTConfig()
-        return (
-            simulator,
-            config.chain_enabled,
-            config.chain_cross_page,
-            config.max_block_insns,
-            config.tlb_bits,
-            config.tcache_capacity,
-            config.asid_tagged,
-            repr(sorted(kwargs.items())),
-        )
-    return (simulator, repr(sorted(kwargs.items())))
+    return as_engine_spec(simulator, dbt_config, sim_kwargs).structural_key()
+
+
+def resolve_benchmark(name):
+    """Resolve a benchmark/workload by name across every registry.
+
+    Searches the SimBench suite, the extension suite and the SPEC proxy
+    workloads -- the inverse of ``benchmark.name`` for everything a
+    :class:`JobSpec` payload may reference.
+    """
+    try:
+        return get_benchmark(name)
+    except KeyError:
+        pass
+    from repro.core.benchmarks.extensions import EXTENSION_SUITE
+    from repro.workloads import SPEC_PROXIES
+
+    for benchmark in tuple(EXTENSION_SUITE) + tuple(SPEC_PROXIES):
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError("unknown benchmark or workload %r" % name)
 
 
 class JobSpec:
     """One cell of an experiment grid.
 
     ``benchmark`` may be a Benchmark/Workload instance or a suite
-    benchmark name; ``iterations=None`` means the benchmark's default.
+    benchmark name; ``simulator`` an :class:`EngineSpec` or a registry
+    name (the legacy ``dbt_config``/``sim_kwargs`` pair is folded into
+    the spec); ``iterations=None`` means the benchmark's default.
     """
 
     __slots__ = (
         "benchmark",
-        "simulator",
+        "engine_spec",
         "arch",
         "platform",
         "iterations",
-        "dbt_config",
-        "sim_kwargs",
     )
 
     def __init__(
@@ -86,19 +97,22 @@ class JobSpec:
         sim_kwargs=None,
     ):
         if isinstance(benchmark, str):
-            benchmark = get_benchmark(benchmark)
+            benchmark = resolve_benchmark(benchmark)
         self.benchmark = benchmark
-        self.simulator = simulator
+        self.engine_spec = as_engine_spec(simulator, dbt_config, sim_kwargs)
         self.arch = arch
         self.platform = platform
         self.iterations = (
             int(iterations) if iterations is not None else benchmark.default_iterations
         )
-        self.dbt_config = dbt_config
-        self.sim_kwargs = sim_kwargs
+
+    @property
+    def simulator(self):
+        """The engine's registry name."""
+        return self.engine_spec.engine
 
     def structural_key(self):
-        return structural_key(self.simulator, self.dbt_config, self.sim_kwargs)
+        return self.engine_spec.structural_key()
 
     def execution_key(self):
         """Jobs sharing this key share one execution (and cache entry)."""
@@ -116,24 +130,48 @@ class JobSpec:
         """The on-disk cache key for this job."""
         return job_fingerprint(
             self.benchmark,
-            self.simulator,
+            self.engine_spec.engine,
             self.arch,
             self.platform,
             self.iterations,
-            self.structural_key(),
+            self.engine_spec.cache_key_payload(),
         )
 
     def executes(self):
         """Whether this job runs guest code at all (as opposed to being
         decided statically as not-applicable/unsupported)."""
         return self.benchmark.effective(self.arch) and self.benchmark.supported_by(
-            self.simulator
+            self.engine_spec.engine
+        )
+
+    def to_payload(self):
+        """A JSON-serializable description of this job (lossless up to
+        benchmark identity, which is carried by registry name)."""
+        return {
+            "benchmark": self.benchmark.name,
+            "engine": self.engine_spec.to_payload(),
+            "arch": self.arch.name,
+            "platform": self.platform.name,
+            "iterations": self.iterations,
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        from repro.arch import get_arch
+        from repro.platform import get_platform
+
+        return cls(
+            resolve_benchmark(payload["benchmark"]),
+            EngineSpec.from_payload(payload["engine"]),
+            get_arch(payload["arch"]),
+            get_platform(payload["platform"]),
+            iterations=payload["iterations"],
         )
 
     def __repr__(self):
         return "JobSpec(%s on %s/%s/%s, %d iters)" % (
             self.benchmark.name,
-            self.simulator,
+            self.engine_spec.engine,
             self.arch.name,
             self.platform.name,
             self.iterations,
@@ -158,12 +196,10 @@ def _execute_job(spec):
     """
     return _WORKER_HARNESS.execute_benchmark(
         spec.benchmark,
-        spec.simulator,
+        spec.engine_spec,
         spec.arch,
         spec.platform,
         iterations=spec.iterations,
-        dbt_config=spec.dbt_config,
-        sim_kwargs=spec.sim_kwargs,
     )
 
 
@@ -206,12 +242,10 @@ class ExperimentRunner:
             if not spec.executes():
                 records[key] = self.harness.execute_benchmark(
                     spec.benchmark,
-                    spec.simulator,
+                    spec.engine_spec,
                     spec.arch,
                     spec.platform,
                     iterations=spec.iterations,
-                    dbt_config=spec.dbt_config,
-                    sim_kwargs=spec.sim_kwargs,
                 )
                 static += 1
                 continue
@@ -231,7 +265,7 @@ class ExperimentRunner:
                     record,
                     meta={
                         "benchmark": spec.benchmark.name,
-                        "simulator": spec.simulator,
+                        "simulator": spec.engine_spec.engine,
                         "arch": spec.arch.name,
                         "platform": spec.platform.name,
                         "iterations": spec.iterations,
@@ -251,12 +285,10 @@ class ExperimentRunner:
             self.harness.price_record(
                 records[spec.execution_key()],
                 spec.benchmark,
-                spec.simulator,
+                spec.engine_spec,
                 spec.arch,
                 spec.platform,
                 iterations=spec.iterations,
-                dbt_config=spec.dbt_config,
-                sim_kwargs=spec.sim_kwargs,
             )
             for spec in specs
         ]
@@ -275,12 +307,10 @@ class ExperimentRunner:
         return [
             self.harness.execute_benchmark(
                 spec.benchmark,
-                spec.simulator,
+                spec.engine_spec,
                 spec.arch,
                 spec.platform,
                 iterations=spec.iterations,
-                dbt_config=spec.dbt_config,
-                sim_kwargs=spec.sim_kwargs,
             )
             for spec in specs
         ]
@@ -296,17 +326,19 @@ class ExperimentRunner:
         dbt_config=None,
     ):
         """Drop-in parallel/cached equivalent of ``Harness.run_suite``."""
+        engine_spec = as_engine_spec(simulator, dbt_config)
         if benchmarks is None:
             benchmarks = SUITE
         specs = [
             JobSpec(
                 benchmark,
-                simulator,
+                engine_spec,
                 arch,
                 platform,
                 iterations=max(1, int(benchmark.default_iterations * scale)),
-                dbt_config=dbt_config,
             )
             for benchmark in benchmarks
         ]
-        return SuiteResult(simulator, arch.name, platform.name, self.run(specs))
+        return SuiteResult(
+            engine_spec.engine, arch.name, platform.name, self.run(specs)
+        )

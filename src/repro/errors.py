@@ -72,6 +72,29 @@ class UnsupportedFeatureError(ReproError):
         return (type(self), (self.simulator, self.feature))
 
 
+class IncompatibleEngineError(ReproError, TypeError):
+    """Raised when tooling (tracer, debugger) attaches to an engine
+    whose execution model does not support it.
+
+    Attachability is declared by the engine capability flags
+    (``supports_insn_trace``/``supports_block_trace``), so tools never
+    hardcode engine classes.  Subclasses ``TypeError`` for backward
+    compatibility with callers that caught the old bare error.
+    """
+
+    def __init__(self, tool, engine, hint=None):
+        self.tool = tool
+        self.engine = engine
+        self.hint = hint
+        message = "%s cannot attach to engine %r" % (tool, engine)
+        if hint:
+            message += " (%s)" % hint
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.tool, self.engine, self.hint))
+
+
 class GuestHalted(ReproError):
     """Internal signal used by engines when the guest executes HALT."""
 

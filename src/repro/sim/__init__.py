@@ -39,26 +39,35 @@ from repro.sim.dbt.config import DBTConfig
 from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
 from repro.sim.virt import VirtSimulator
 from repro.sim.native import NativeMachine
+from repro.sim.spec import (
+    SPEC_CLASSES,
+    DBTSpec,
+    DetailedSpec,
+    EngineSpec,
+    InterpSpec,
+    NativeSpec,
+    VirtSpec,
+    as_engine_spec,
+    engines_for_arch,
+    spec_class_for,
+    spec_for,
+)
 
+#: Derived from the spec registry -- the one source of truth for which
+#: engines exist (see :mod:`repro.sim.spec`).
 SIMULATOR_CLASSES = {
-    "qemu-dbt": DBTSimulator,
-    "simit": FastInterpreter,
-    "gem5": DetailedInterpreter,
-    "qemu-kvm": VirtSimulator,
-    "native": NativeMachine,
+    name: cls.simulator_class for name, cls in SPEC_CLASSES.items()
 }
 
 
 def create_simulator(kind, board, arch, **kwargs):
-    """Instantiate a simulator by its registry name."""
-    try:
-        cls = SIMULATOR_CLASSES[kind]
-    except KeyError:
-        raise KeyError(
-            "unknown simulator %r (available: %s)"
-            % (kind, ", ".join(sorted(SIMULATOR_CLASSES)))
-        )
-    return cls(board, arch=arch, **kwargs)
+    """Instantiate a simulator by its registry name.
+
+    ``kind`` may also be an :class:`EngineSpec`; keyword arguments are
+    validated against the engine's declared spec fields (a ``config``
+    entry carries a :class:`DBTConfig` for the DBT engine).
+    """
+    return as_engine_spec(kind, sim_kwargs=kwargs).build(board, arch)
 
 
 def cost_model_for(kind, arch=None, dbt_config=None, sim_kwargs=None):
@@ -68,25 +77,10 @@ def cost_model_for(kind, arch=None, dbt_config=None, sim_kwargs=None):
     (or running) an engine -- the basis of the "execute once, price
     many" result cache.  ``dbt_config``/``sim_kwargs`` mirror the
     harness arguments; a ``config`` entry in ``sim_kwargs`` wins, as it
-    does when constructing the engine.
+    does when constructing the engine.  Dispatch is spec-driven, so
+    unknown engines fail with the same error as engine construction.
     """
-    arch_name = getattr(arch, "name", arch) or "arm"
-    if kind == "qemu-dbt":
-        config = (sim_kwargs or {}).get("config", dbt_config)
-        if config is None:
-            config = DBTConfig()
-        return dbt_cost_model(config.cost_overrides)
-    if kind == "simit":
-        return interp_cost_model()
-    if kind == "gem5":
-        return detailed_cost_model()
-    if kind == "qemu-kvm":
-        return virt_cost_model(arch_name)
-    if kind == "native":
-        return native_cost_model(arch_name)
-    raise KeyError(
-        "unknown simulator %r (available: %s)" % (kind, ", ".join(sorted(SIMULATOR_CLASSES)))
-    )
+    return as_engine_spec(kind, dbt_config, sim_kwargs).cost_model(arch)
 
 
 __all__ = [
@@ -103,6 +97,17 @@ __all__ = [
     "QEMU_VERSIONS",
     "dbt_config_for_version",
     "SIMULATOR_CLASSES",
+    "SPEC_CLASSES",
+    "EngineSpec",
+    "DBTSpec",
+    "InterpSpec",
+    "DetailedSpec",
+    "VirtSpec",
+    "NativeSpec",
+    "as_engine_spec",
+    "engines_for_arch",
+    "spec_class_for",
+    "spec_for",
     "create_simulator",
     "cost_model_for",
 ]

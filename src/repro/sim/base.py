@@ -166,6 +166,12 @@ class Simulator:
 
     name = "simulator"
     execution_model = "abstract"
+    #: Whether per-instruction tooling (Tracer/Debugger) can attach via
+    #: the ``_pre_execute`` hook.  Engines that execute translated code
+    #: rather than dispatching per instruction leave this False.
+    supports_insn_trace = False
+    #: Whether block-granularity tracing (``trace_blocks``) applies.
+    supports_block_trace = False
 
     def __init__(self, board, arch=None):
         self.board = board

@@ -37,6 +37,9 @@ class DBTSimulator(Simulator):
 
     name = "qemu-dbt"
     execution_model = "dynamic binary translation"
+    #: Translated code has no per-instruction hook; observe the block
+    #: stream via :func:`repro.sim.trace.trace_blocks` instead.
+    supports_block_trace = True
 
     def __init__(self, board, arch=None, config=None):
         super().__init__(board, arch)

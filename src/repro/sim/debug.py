@@ -15,9 +15,9 @@ Example::
     dbg.step()                   # one instruction
 """
 
+from repro.errors import IncompatibleEngineError
 from repro.isa.disasm import disassemble
 from repro.sim.base import ExitReason
-from repro.sim.funccore import FunctionalCore
 
 #: Stop reasons returned by :meth:`Debugger.cont`/:meth:`Debugger.step`.
 STOP_BREAKPOINT = "breakpoint"
@@ -38,8 +38,13 @@ class Debugger:
     """Interactive control over a functional-core engine."""
 
     def __init__(self, engine):
-        if not isinstance(engine, FunctionalCore):
-            raise TypeError("Debugger attaches to interpreter-family engines")
+        if not getattr(engine, "supports_insn_trace", False):
+            raise IncompatibleEngineError(
+                "Debugger",
+                getattr(engine, "name", type(engine).__name__),
+                hint="single-stepping needs the per-instruction "
+                "supports_insn_trace capability",
+            )
         self.engine = engine
         self.breakpoints = set()
         self.watchpoints = set()  # watched word-aligned data addresses

@@ -51,6 +51,9 @@ class FunctionalCore(Simulator):
 
     name = "funccore"
     execution_model = "interpreter"
+    #: Per-instruction dispatch means the ``_pre_execute`` hook sees
+    #: every retired instruction -- Tracer/Debugger can attach.
+    supports_insn_trace = True
 
     def __init__(
         self,

@@ -19,8 +19,8 @@ does not apply; use :func:`trace_blocks` there to observe the block
 stream instead.
 """
 
+from repro.errors import IncompatibleEngineError
 from repro.isa.disasm import disassemble
-from repro.sim.funccore import FunctionalCore
 
 
 class TraceRecord:
@@ -42,10 +42,12 @@ class Tracer:
     """Records the instruction stream of a functional-core engine."""
 
     def __init__(self, engine, limit=100_000, disassemble_insns=True):
-        if not isinstance(engine, FunctionalCore):
-            raise TypeError(
-                "Tracer attaches to interpreter-family engines; "
-                "use trace_blocks() for the DBT engine"
+        if not getattr(engine, "supports_insn_trace", False):
+            raise IncompatibleEngineError(
+                "Tracer",
+                getattr(engine, "name", type(engine).__name__),
+                hint="per-instruction tracing needs supports_insn_trace; "
+                "use trace_blocks() for block-granularity engines",
             )
         self.engine = engine
         self.limit = limit
@@ -123,10 +125,13 @@ def trace_blocks(engine, run_kwargs=None, limit=100_000):
     Wraps every cached-and-future block's function; returns
     ``(records, run_result)``.
     """
-    from repro.sim.dbt.engine import DBTSimulator
-
-    if not isinstance(engine, DBTSimulator):
-        raise TypeError("trace_blocks() requires a DBTSimulator")
+    if not getattr(engine, "supports_block_trace", False):
+        raise IncompatibleEngineError(
+            "trace_blocks",
+            getattr(engine, "name", type(engine).__name__),
+            hint="block tracing needs supports_block_trace; "
+            "use Tracer for per-instruction engines",
+        )
     records = []
 
     translator = engine._translator

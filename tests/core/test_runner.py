@@ -70,7 +70,33 @@ class TestStructuralKey:
         assert structural_key("qemu-dbt", None, {"asid_tagged": True}) != structural_key(
             "qemu-dbt", None, {}
         )
-        assert structural_key("simit", None, {"x": 1}) != structural_key("simit")
+        assert structural_key("simit", None, {"tlb_capacity": 128}) != structural_key(
+            "simit"
+        )
+
+    def test_unknown_sim_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine option"):
+            structural_key("simit", None, {"x": 1})
+
+    def test_object_valued_sim_kwargs_rejected(self):
+        # Objects have no canonical encoding; silently keying on their
+        # repr (memory address) would split the cache between equal
+        # configs built separately, so they must be rejected loudly.
+        class Policy:
+            pass
+
+        with pytest.raises(ValueError, match="tlb_capacity"):
+            structural_key("simit", None, {"tlb_capacity": Policy()})
+
+    def test_separately_built_equal_configs_collide(self):
+        # Regression for the repr-address bug: two equal configurations
+        # constructed independently must produce identical keys.
+        a = structural_key("simit", None, {"tlb_capacity": 128, "asid_tagged": True})
+        b = structural_key("simit", None, {"asid_tagged": True, "tlb_capacity": 128})
+        assert a == b
+        assert structural_key("qemu-dbt", DBTConfig(tlb_bits=7)) == structural_key(
+            "qemu-dbt", DBTConfig(tlb_bits=7)
+        )
 
     def test_engines_distinct(self):
         assert structural_key("simit") != structural_key("gem5")
@@ -81,6 +107,22 @@ class TestJobSpec:
         spec = JobSpec("System Call", "simit", ARM, VEXPRESS)
         assert spec.benchmark is get_benchmark("System Call")
         assert spec.iterations == spec.benchmark.default_iterations
+
+    def test_payload_roundtrip_preserves_identity(self):
+        spec = JobSpec(
+            "System Call",
+            "qemu-dbt",
+            ARM,
+            VEXPRESS,
+            iterations=20,
+            dbt_config=dbt_config_for_version("v2.1.0", "arm"),
+        )
+        clone = JobSpec.from_payload(spec.to_payload())
+        assert clone.engine_spec == spec.engine_spec
+        assert clone.benchmark is spec.benchmark
+        assert clone.iterations == spec.iterations
+        assert clone.fingerprint() == spec.fingerprint()
+        assert clone.execution_key() == spec.execution_key()
 
     def test_executes_flags_static_outcomes(self):
         ok = JobSpec("System Call", "simit", ARM, VEXPRESS)
@@ -194,7 +236,7 @@ class TestResultCache:
         def _forbidden(*args, **kwargs):
             raise AssertionError("guest execution attempted on a warm cache")
 
-        monkeypatch.setattr("repro.core.harness.create_simulator", _forbidden)
+        monkeypatch.setattr("repro.sim.spec.EngineSpec.build", _forbidden)
         warm_runner = ExperimentRunner(cache=ResultCache(cache_dir))
         warm = warm_runner.run_suite("simit", ARM, VEXPRESS, scale=0.05)
         assert warm_runner.last_stats["cache_hits"] == len(cold)
@@ -255,6 +297,36 @@ class TestResultCache:
         assert cache.clear() == 2
         assert cache.stats()["entries"] == 0
 
+    def test_counter_schema_change_is_clean_miss(self, tmp_path, monkeypatch):
+        # A change to the counter vocabulary moves every fingerprint
+        # (via the schema tag), so old entries become clean misses and
+        # are re-executed -- never read back into a KeyError.
+        cache_dir = tmp_path / "cache"
+        cold_runner = ExperimentRunner(cache=ResultCache(cache_dir))
+        cold = cold_runner.run_suite("simit", ARM, VEXPRESS, scale=0.05)
+        assert cold_runner.last_stats["executed"] == len(cold)
+        monkeypatch.setattr(
+            resultcache,
+            "COUNTER_NAMES",
+            tuple(resultcache.COUNTER_NAMES) + ("speculative_fizzles",),
+        )
+        warm_runner = ExperimentRunner(cache=ResultCache(cache_dir))
+        warm = warm_runner.run_suite("simit", ARM, VEXPRESS, scale=0.05)
+        assert warm_runner.last_stats["cache_hits"] == 0
+        assert warm_runner.last_stats["executed"] == len(warm)
+        assert _dicts(warm, with_wall=False) == _dicts(cold, with_wall=False)
+
+    def test_execution_record_payload_roundtrip(self):
+        record = ExecutionRecord(
+            status="ok",
+            kernel_delta={"instructions": 120, "loads": 7},
+            kernel_wall_ns=4321,
+            total_instructions=500,
+        )
+        clone = ExecutionRecord.from_payload(record.to_payload())
+        assert clone.to_payload() == record.to_payload()
+        assert clone.kernel_delta == record.kernel_delta
+
     def test_unsupported_record_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         record = ExecutionRecord(
@@ -301,5 +373,11 @@ class TestCacheKey:
 
     def test_schema_version_changes_key(self, monkeypatch):
         before = self._fingerprint()
-        monkeypatch.setattr(resultcache, "COST_SCHEMA_VERSION", 2)
+        monkeypatch.setattr(
+            resultcache, "COST_SCHEMA_VERSION", resultcache.COST_SCHEMA_VERSION + 1
+        )
         assert self._fingerprint() != before
+
+    def test_non_serialisable_structure_rejected(self):
+        with pytest.raises(ValueError, match="JSON-serialisable"):
+            self._fingerprint(structure=object())

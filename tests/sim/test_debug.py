@@ -3,6 +3,7 @@
 import pytest
 
 from repro.arch import ARM
+from repro.errors import IncompatibleEngineError
 from repro.isa.assembler import assemble
 from repro.machine import Board
 from repro.platform import VEXPRESS
@@ -162,7 +163,7 @@ class TestInspection:
     def test_rejects_dbt(self):
         board = Board(VEXPRESS)
         board.load(assemble(PROGRAM))
-        with pytest.raises(TypeError):
+        with pytest.raises(IncompatibleEngineError, match="supports_insn_trace"):
             Debugger(DBTSimulator(board, arch=ARM))
 
     def test_detach_restores_hooks(self, debugger):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.arch import ARM
+from repro.errors import IncompatibleEngineError
 from repro.isa.assembler import assemble
 from repro.machine import Board
 from repro.platform import VEXPRESS
@@ -78,7 +79,9 @@ class TestTracer:
         assert summary["halt"] == 1
 
     def test_rejects_dbt_engine(self):
-        with pytest.raises(TypeError):
+        # IncompatibleEngineError subclasses TypeError, so legacy
+        # callers that caught TypeError keep working.
+        with pytest.raises(IncompatibleEngineError, match="supports_insn_trace"):
             Tracer(_engine(DBTSimulator))
 
     def test_text_rendering(self):
@@ -101,5 +104,5 @@ class TestBlockTrace:
         assert sum(r.insn_count for r in records) >= engine.counters.instructions
 
     def test_rejects_interpreter(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(IncompatibleEngineError, match="supports_block_trace"):
             trace_blocks(_engine(FastInterpreter))

@@ -25,6 +25,50 @@ class TestListCommand:
         assert "mcf" in out
 
 
+class TestEnginesCommand:
+    def test_describes_registry_with_features(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("qemu-dbt", "simit", "gem5", "qemu-kvm", "native"):
+            assert name in out
+        assert "structural options" in out
+        assert "pricing options" in out
+        assert "Execution Model" in out  # Figure 4 feature rows
+
+    def test_no_features_flag(self, capsys):
+        assert main(["engines", "--no-features"]) == 0
+        out = capsys.readouterr().out
+        assert "structural options" in out
+        assert "Execution Model" not in out
+
+
+class TestEngineOptions:
+    def test_engine_opt_configures_spec(self, capsys):
+        assert main([
+            "run", "System Call", "--sim", "simit",
+            "--engine-opt", "tlb_capacity=16",
+            "--engine-opt", "asid_tagged=true",
+            "--iterations", "20",
+        ]) == 0
+        assert "System Call" in capsys.readouterr().out
+
+    def test_unknown_engine_opt_exits_2(self, capsys):
+        code = main([
+            "run", "System Call", "--sim", "simit",
+            "--engine-opt", "bogus=1",
+        ])
+        assert code == 2
+        assert "unknown engine option" in capsys.readouterr().err
+
+    def test_malformed_engine_opt_exits_2(self, capsys):
+        code = main([
+            "run", "System Call", "--sim", "simit",
+            "--engine-opt", "tlb_capacity",
+        ])
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+
 class TestRunCommand:
     def test_run_benchmark(self, capsys):
         assert main(["run", "System Call", "--sim", "simit", "--iterations", "50"]) == 0
