@@ -87,12 +87,15 @@ def render_figure1(data, title="Figure 1: user-mode vs full-system simulation"):
 # ---------------------------------------------------------------------------
 
 
-def figure2(arch=ARM, platform=None, harness=None, scale=1.0, runner=None):
+def figure2(arch=ARM, platform=None, harness=None, scale=1.0, runner=None, strict=True):
     """Relative SPEC-proxy performance across the QEMU version sweep.
 
     Returns ``{"versions": [...], "series": {name: [speedups]}}`` with
     series for ``sjeng``, ``mcf`` and ``SPEC (overall)`` (the weighted
     geometric mean across all proxies), baselined at v1.7.0.
+
+    ``strict=False`` keeps going past failed cells (their speedups are
+    NaN) instead of raising -- see :meth:`VersionSweep.run_many`.
     """
     if platform is None:
         platform = _default_env(arch)[1]
@@ -103,7 +106,7 @@ def figure2(arch=ARM, platform=None, harness=None, scale=1.0, runner=None):
         iterations = max(1, int(workload.default_iterations * scale))
         by_scale.setdefault(iterations, []).append(workload)
     for iterations, workloads in by_scale.items():
-        all_series.update(sweep.run_many(workloads, iterations=iterations))
+        all_series.update(sweep.run_many(workloads, iterations=iterations, strict=strict))
     versions = list(QEMU_VERSIONS)
     overall = []
     for index in range(len(versions)):
@@ -193,10 +196,11 @@ def figure5():
 # ---------------------------------------------------------------------------
 
 
-def figure6(arch=ARM, platform=None, harness=None, scale=1.0, runner=None):
+def figure6(arch=ARM, platform=None, harness=None, scale=1.0, runner=None, strict=True):
     """SimBench speedups per category across the QEMU version sweep.
 
     Returns ``{"versions": [...], "panels": {group: {bench: [speedups]}}}``.
+    ``strict=False`` keeps going past failed cells (NaN speedups).
     """
     if platform is None:
         platform = _default_env(arch)[1]
@@ -213,7 +217,9 @@ def figure6(arch=ARM, platform=None, harness=None, scale=1.0, runner=None):
         by_iterations.setdefault(iterations, []).append(benchmark)
     series_by_name = {}
     for iterations, benchmarks in by_iterations.items():
-        series_by_name.update(sweep.run_many(benchmarks, iterations=iterations))
+        series_by_name.update(
+            sweep.run_many(benchmarks, iterations=iterations, strict=strict)
+        )
     panels = {}
     for group, benchmark, _iterations in grid:
         panels.setdefault(group, {})[benchmark.name] = list(
@@ -282,13 +288,18 @@ def figure8(
     figure2_data=None,
     figure6_data=None,
     runner=None,
+    strict=True,
 ):
     """Geomean speedup of the SPEC proxies and of SimBench across the
     QEMU version sweep (both baselined at v1.7.0)."""
     if figure2_data is None:
-        figure2_data = figure2(arch, platform, harness=harness, scale=scale, runner=runner)
+        figure2_data = figure2(
+            arch, platform, harness=harness, scale=scale, runner=runner, strict=strict
+        )
     if figure6_data is None:
-        figure6_data = figure6(arch, platform, harness=harness, scale=scale, runner=runner)
+        figure6_data = figure6(
+            arch, platform, harness=harness, scale=scale, runner=runner, strict=strict
+        )
     versions = figure2_data["versions"]
     spec = figure2_data["series"]["SPEC (overall)"]
     simbench = []

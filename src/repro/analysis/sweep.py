@@ -22,15 +22,21 @@ from repro.sim.spec import DBTSpec
 
 
 class SweepSeries:
-    """One benchmark's modeled kernel seconds across every version."""
+    """One benchmark's modeled kernel seconds across every version.
 
-    __slots__ = ("name", "group", "versions", "seconds")
+    Under non-strict sweeps a failed (crashed/timeout/error) cell
+    holds ``float("nan")`` seconds and its cause is recorded in
+    ``failures`` as ``(version, status, error-string)`` tuples.
+    """
 
-    def __init__(self, name, group, versions, seconds):
+    __slots__ = ("name", "group", "versions", "seconds", "failures")
+
+    def __init__(self, name, group, versions, seconds, failures=()):
         self.name = name
         self.group = group
         self.versions = tuple(versions)
         self.seconds = tuple(seconds)
+        self.failures = tuple(failures)
 
     def speedups(self, baseline_index=0):
         """Speedup of each version relative to the baseline version."""
@@ -79,16 +85,25 @@ class VersionSweep:
             for version in self.versions
         ]
 
-    def run(self, benchmark, iterations=None):
+    def run(self, benchmark, iterations=None, strict=True):
         """Sweep one benchmark; returns a :class:`SweepSeries`."""
-        return self.run_many([benchmark], iterations=iterations)[benchmark.name]
+        return self.run_many([benchmark], iterations=iterations, strict=strict)[
+            benchmark.name
+        ]
 
-    def run_many(self, benchmarks, iterations=None):
+    def run_many(self, benchmarks, iterations=None, strict=True):
         """Sweep several benchmarks; returns ``{name: SweepSeries}``.
 
         All (benchmark, version) cells go to the runner as one grid, so
         with ``jobs=N`` the per-structural-group executions of *every*
         benchmark proceed in parallel.
+
+        The grid always completes (the runner is fault-isolated); what
+        ``strict`` controls is reporting.  ``strict=True`` raises
+        ``RuntimeError`` on the first non-ok cell; ``strict=False``
+        records failed cells as NaN seconds plus a ``failures`` entry
+        on the series, so one bad version does not discard the rest of
+        a completed sweep.
         """
         benchmarks = list(benchmarks)
         specs = []
@@ -99,16 +114,21 @@ class VersionSweep:
         index = 0
         for benchmark in benchmarks:
             seconds = []
+            failures = []
             for version in self.versions:
                 result = results[index]
                 index += 1
                 if not result.ok:
-                    raise RuntimeError(
-                        "sweep run failed for %s under %s: %s (%s)"
-                        % (benchmark.name, version, result.status, result.error)
-                    )
+                    if strict:
+                        raise RuntimeError(
+                            "sweep run failed for %s under %s: %s (%s)"
+                            % (benchmark.name, version, result.status, result.error)
+                        )
+                    failures.append((version, result.status, str(result.error or "")))
+                    seconds.append(float("nan"))
+                    continue
                 seconds.append(result.kernel_ns / 1e9)
             series[benchmark.name] = SweepSeries(
-                benchmark.name, benchmark.group, self.versions, seconds
+                benchmark.name, benchmark.group, self.versions, seconds, failures
             )
         return series

@@ -29,12 +29,15 @@ Commands
 """
 
 import argparse
+import math
+import os
 import sys
 
 from repro.analysis import figures
 from repro.analysis.sweep import VersionSweep
 from repro.arch import ARCHES, get_arch
 from repro.core import (
+    FAILURE_STATUSES,
     ExperimentRunner,
     Harness,
     ResultCache,
@@ -51,6 +54,12 @@ from repro.workloads import SPEC_PROXIES
 
 class _CliError(Exception):
     """User-input error; rendered to stderr with exit status 2."""
+
+
+#: Exit status for a grid that *completed* but contained failing cells
+#: (crashed/timeout/error).  Distinct from 1 (single-run failure) and
+#: 2 (usage error); suppressed by ``--keep-going``.
+EXIT_GRID_FAILURES = 3
 
 
 def _default_platform(arch_name):
@@ -79,7 +88,12 @@ def _add_env_options(parser):
 
 
 def _parse_opt_value(raw):
-    """Parse an --engine-opt value: bool/none/int/float, else string."""
+    """Parse an --engine-opt value: bool/none/int/float, else string.
+
+    Non-finite floats (``nan``/``inf``/``1e999``) are rejected: they
+    would flow into ``json.dumps`` fingerprints and payloads as
+    non-standard JSON that strict parsers reject.
+    """
     lowered = raw.strip().lower()
     if lowered in ("true", "false"):
         return lowered == "true"
@@ -87,9 +101,15 @@ def _parse_opt_value(raw):
         return None
     for converter in (int, float):
         try:
-            return converter(raw)
+            value = converter(raw)
         except ValueError:
-            pass
+            continue
+        if isinstance(value, float) and not math.isfinite(value):
+            raise _CliError(
+                "non-finite option value %r is not allowed "
+                "(it has no valid JSON encoding)" % raw
+            )
+        return value
     return raw
 
 
@@ -120,6 +140,30 @@ def _add_runner_options(parser):
         help="result-cache directory; warm runs re-price cached counter "
         "deltas instead of executing guest code (modeled timing only)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall deadline; jobs exceeding it become 'timeout' "
+        "rows instead of stalling the grid (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retry jobs whose failure is transient (worker death, "
+        "timeout) up to N times with backoff (default: 1); "
+        "deterministic crashes are never retried under modeled timing",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="exit 0 even when some grid cells failed (the grid always "
+        "completes; without this flag failures exit %d after the "
+        "failure summary)" % EXIT_GRID_FAILURES,
+    )
 
 
 def _environment(args):
@@ -136,7 +180,11 @@ def _runner_for(args, harness=None):
     if cache_dir:
         cache = ResultCache(cache_dir)
     return ExperimentRunner(
-        harness=harness, jobs=getattr(args, "jobs", 1) or 1, cache=cache
+        harness=harness,
+        jobs=getattr(args, "jobs", 1) or 1,
+        cache=cache,
+        deadline=getattr(args, "deadline", None),
+        retries=getattr(args, "retries", 1),
     )
 
 
@@ -149,6 +197,50 @@ def _report_runner(args, runner):
                 % (stats["jobs"], stats["unique"], stats["cache_hits"], stats["executed"]),
                 file=sys.stderr,
             )
+    stats = runner.last_stats
+    fault_counts = [
+        (name, stats.get(name, 0))
+        for name in ("crashed", "timeout", "errors", "retried", "worker_lost")
+        if stats.get(name, 0)
+    ]
+    if fault_counts:
+        print(
+            "runner faults: %s"
+            % ", ".join("%d %s" % (count, name) for name, count in fault_counts),
+            file=sys.stderr,
+        )
+
+
+def _failure_summary(args, runner):
+    """Print the per-cell failure summary and return the exit status.
+
+    The grid always completes; this decides how loudly.  No failures
+    -> 0.  Failures -> a summary on stderr, then exit
+    ``EXIT_GRID_FAILURES`` unless ``--keep-going`` was given.
+    """
+    failures = runner.failures
+    if not failures:
+        return 0
+    print(
+        "%d cell(s) failed (grid completed; other cells are valid):"
+        % len(failures),
+        file=sys.stderr,
+    )
+    for cell in failures:
+        print(
+            "  %-28s on %-10s [%s]  %s%s"
+            % (
+                cell["benchmark"],
+                cell["simulator"],
+                cell["arch"],
+                cell["status"],
+                ": %s" % cell["error"] if cell["error"] else "",
+            ),
+            file=sys.stderr,
+        )
+    if getattr(args, "keep_going", False):
+        return 0
+    return EXIT_GRID_FAILURES
 
 
 def _print_result(result):
@@ -252,12 +344,9 @@ def _cmd_suite(args):
     _report_runner(args, runner)
     print("SimBench on %s (%s guest, %s platform, %s time):"
           % (spec.engine, arch.name, platform.name, args.timing))
-    failures = 0
     for result in suite_result:
         _print_result(result)
-        if result.status == "error":
-            failures += 1
-    return 1 if failures else 0
+    return _failure_summary(args, runner)
 
 
 def _cmd_workloads(args):
@@ -277,10 +366,14 @@ def _cmd_figure(args):
     n = args.number
     scale = args.scale
     runner = _runner_for(args)
+    # Sweep-based figures run non-strict: a failed cell becomes a NaN
+    # entry plus a failure-summary row, never a lost figure.
     if n == 1:
         print(figures.render_figure1(figures.figure1()))
     elif n == 2:
-        print(figures.render_series(figures.figure2(scale=scale, runner=runner), title="Figure 2"))
+        print(figures.render_series(
+            figures.figure2(scale=scale, runner=runner, strict=False), title="Figure 2"
+        ))
     elif n == 3:
         print(figures.render_figure3(figures.figure3(scale=scale)))
     elif n == 4:
@@ -291,29 +384,39 @@ def _cmd_figure(args):
             for key, value in info.items():
                 print("  %-14s %s" % (key, value))
     elif n == 6:
-        print(figures.render_figure6(figures.figure6(scale=scale, runner=runner)))
+        print(figures.render_figure6(
+            figures.figure6(scale=scale, runner=runner, strict=False)
+        ))
     elif n == 7:
         print(figures.render_figure7(figures.figure7(scale=scale, runner=runner)))
     elif n == 8:
-        print(figures.render_series(figures.figure8(scale=scale, runner=runner), title="Figure 8"))
+        print(figures.render_series(
+            figures.figure8(scale=scale, runner=runner, strict=False), title="Figure 8"
+        ))
     else:
         print("unknown figure %d (supported: 1-8)" % n, file=sys.stderr)
         return 2
     _report_runner(args, runner)
-    return 0
+    return _failure_summary(args, runner)
 
 
 def _cmd_sweep(args):
     harness, arch, platform = _environment(args)
     runner = _runner_for(args, harness)
     sweep = VersionSweep(arch, platform, runner=runner)
-    series = sweep.run(get_benchmark(args.benchmark), iterations=args.iterations)
+    series = sweep.run(
+        get_benchmark(args.benchmark), iterations=args.iterations, strict=False
+    )
+    failed = {version: status for version, status, _error in series.failures}
     print("%s across the QEMU timeline (%s guest; speedup vs %s):"
           % (series.name, arch.name, series.versions[0]))
     for version, seconds, speedup in zip(series.versions, series.seconds, series.speedups()):
-        print("  %-12s %.6f s   %.3fx" % (version, seconds, speedup))
+        if version in failed:
+            print("  %-12s FAILED (%s)" % (version, failed[version]))
+        else:
+            print("  %-12s %.6f s   %.3fx" % (version, seconds, speedup))
     _report_runner(args, runner)
-    return 0
+    return _failure_summary(args, runner)
 
 
 def _cmd_cache(args):
@@ -466,11 +569,22 @@ def main(argv=None):
         print(str(exc), file=sys.stderr)
         return 2
     except BrokenPipeError:
-        # Output was piped into something like `head`; exit quietly.
-        try:
-            sys.stdout.close()
-        except Exception:
-            pass
+        # stdout or stderr was piped into something like `head` that
+        # went away (the failure summary goes to stderr, so both can
+        # break).  Point the dead stream(s) at devnull so the
+        # interpreter's shutdown flush cannot traceback, and exit
+        # quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        for stream in (sys.stdout, sys.stderr):
+            try:
+                stream.flush()
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+            try:
+                os.dup2(devnull, stream.fileno())
+            except (OSError, ValueError):
+                pass
+        os.close(devnull)
         return 0
 
 

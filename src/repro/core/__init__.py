@@ -30,7 +30,13 @@ from repro.core.suite import (
     benchmarks_in_group,
 )
 from repro.core.benchmarks.extensions import EXTENSION_SUITE
-from repro.core.harness import ExecutionRecord, Harness, TimingPolicy, SuiteResult
+from repro.core.harness import (
+    FAILURE_STATUSES,
+    ExecutionRecord,
+    Harness,
+    TimingPolicy,
+    SuiteResult,
+)
 from repro.core.density import measure_density, density_table
 from repro.core.predict import PerformanceModel, predict_workloads
 from repro.core.resultcache import ResultCache, job_fingerprint
@@ -48,6 +54,7 @@ __all__ = [
     "Harness",
     "TimingPolicy",
     "SuiteResult",
+    "FAILURE_STATUSES",
     "ExecutionRecord",
     "ExperimentRunner",
     "JobSpec",

@@ -75,7 +75,16 @@ class BenchmarkResult:
       (Figure 7's dagger entries);
     - ``"not-applicable"`` -- the benchmark is a no-op on this
       architecture (Figure 7's '-' entries);
-    - ``"error"`` -- the run failed (see ``error``).
+    - ``"error"`` -- the run violated the three-phase protocol or ran
+      away (see ``error``);
+    - ``"crashed"`` -- an unexpected exception escaped the engine; the
+      cause (type, message, traceback summary) is in ``error`` as a
+      :class:`~repro.errors.EngineCrashError`;
+    - ``"timeout"`` -- the experiment runner's per-job wall deadline
+      fired (:class:`~repro.errors.DeadlineExceeded`).
+
+    ``error``/``crashed``/``timeout`` are the *failure* statuses
+    (:data:`repro.core.harness.FAILURE_STATUSES`).
     """
 
     __slots__ = (

@@ -19,7 +19,14 @@ import enum
 import statistics
 import time
 
-from repro.errors import GuestHalted, HarnessError, UnsupportedFeatureError
+from repro.errors import (
+    EngineCrashError,
+    GuestHalted,
+    HarnessError,
+    UnsupportedFeatureError,
+    error_from_payload,
+    error_to_payload,
+)
 from repro.core.benchmark import BenchmarkResult
 from repro.core.program import PHASE_KERNEL_DONE, PHASE_SETUP_DONE
 from repro.core.suite import SUITE
@@ -31,6 +38,14 @@ from repro.sim.spec import as_engine_spec
 class TimingPolicy(enum.Enum):
     MODELED = "modeled"
     WALLCLOCK = "wallclock"
+
+
+#: Statuses that mean a run *failed* (as opposed to completing, being
+#: statically inapplicable, or hitting a known engine limitation):
+#: ``error`` (protocol violation / runaway guest), ``crashed`` (an
+#: unexpected exception escaped the engine) and ``timeout`` (the
+#: runner's per-job wall deadline fired).
+FAILURE_STATUSES = ("error", "crashed", "timeout")
 
 
 class ExecutionRecord:
@@ -73,22 +88,32 @@ class ExecutionRecord:
         return self.status == "ok"
 
     def to_payload(self):
-        """A JSON-serialisable dict (used by the result cache)."""
+        """A JSON-serialisable dict (used by the result cache and any
+        future remote transport).  The error -- whatever its class --
+        is serialised losslessly via
+        :func:`repro.errors.error_to_payload`, so non-ok records keep
+        their cause across process and disk boundaries."""
         payload = {
             "status": self.status,
             "kernel_delta": dict(self.kernel_delta),
             "kernel_wall_ns": self.kernel_wall_ns,
             "total_instructions": self.total_instructions,
         }
-        if isinstance(self.error, UnsupportedFeatureError):
-            payload["unsupported"] = [self.error.simulator, self.error.feature]
+        error_payload = error_to_payload(self.error)
+        if error_payload is not None:
+            payload["error"] = error_payload
         return payload
 
     @classmethod
     def from_payload(cls, payload):
-        error = None
-        if payload.get("unsupported"):
+        if "error" in payload:
+            error = error_from_payload(payload["error"])
+        elif payload.get("unsupported"):
+            # Legacy entries (schema <= 2) carried only unsupported-
+            # feature errors, under a dedicated key.
             error = UnsupportedFeatureError(*payload["unsupported"])
+        else:
+            error = None
         return cls(
             status=payload["status"],
             error=error,
@@ -121,6 +146,12 @@ class SuiteResult:
 
     def by_name(self):
         return {res.benchmark: res for res in self.results}
+
+    def failures(self):
+        """The results whose status is a failure (``error``/``crashed``/
+        ``timeout``) -- not-applicable and unsupported cells are
+        expected outcomes, not failures."""
+        return [res for res in self.results if res.status in FAILURE_STATUSES]
 
     def __repr__(self):
         return "SuiteResult(%s/%s, %d benchmarks)" % (
@@ -193,19 +224,27 @@ class Harness:
         if not benchmark.supported_by(spec.engine):
             return ExecutionRecord(status="unsupported")
 
-        built = self.build_program(benchmark, arch, platform)
-        board = Board(platform)
-        board.load(built.program)
-        board.set_iterations(iterations)
-        sim = spec.build(board, arch)
-
-        recorder = _PhaseRecorder(sim)
-        board.testctl.on_phase = recorder
-
         try:
+            built = self.build_program(benchmark, arch, platform)
+            board = Board(platform)
+            board.load(built.program)
+            board.set_iterations(iterations)
+            sim = spec.build(board, arch)
+
+            recorder = _PhaseRecorder(sim)
+            board.testctl.on_phase = recorder
+
             run = sim.run(max_insns=self.max_insns)
         except UnsupportedFeatureError as exc:
             return ExecutionRecord(status="unsupported", error=exc)
+        except Exception as exc:
+            # Fault isolation: an unexpected engine/decoder/MMU (or
+            # program-build) exception becomes one ``crashed`` row
+            # instead of aborting the whole grid.  The cause is kept as
+            # strings so the record survives pool and cache transport.
+            return ExecutionRecord(
+                status="crashed", error=EngineCrashError.from_exception(exc)
+            )
         if run.exit_reason is not ExitReason.HALT:
             return ExecutionRecord(
                 status="error",

@@ -15,8 +15,9 @@ key is a SHA-256 fingerprint over everything the record depends on:
 
 Entries are JSON files (two-level fan-out by key prefix) written
 atomically via rename, so concurrent runs sharing a cache directory
-never observe torn entries; unreadable or corrupt entries count as
-misses.
+never observe torn entries; missing entries count as misses, and
+corrupt entries are quarantined (unlinked, counted in ``stats()``)
+so a bad file is paid for at most once.
 """
 
 import hashlib
@@ -82,19 +83,34 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".json")
 
     def get(self, key):
-        """The stored :class:`ExecutionRecord`, or ``None`` on a miss."""
+        """The stored :class:`ExecutionRecord`, or ``None`` on a miss.
+
+        An entry that exists but fails to decode is *quarantined*
+        (unlinked) rather than left to make every future run re-pay a
+        doomed open+parse; the next ``put`` rewrites it cleanly.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
             record = ExecutionRecord.from_payload(payload["record"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
             self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            self.quarantined += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return record
@@ -148,6 +164,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "quarantined": self.quarantined,
             "schema": schema_tag(),
         }
 

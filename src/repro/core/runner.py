@@ -11,13 +11,21 @@ execution:
   generalisation of the version sweep's structural grouping to every
   engine: engine specs differing only in pricing fields, or plainly
   repeated jobs, execute once and are priced per spec);
-- unique executions are optionally fanned out over a ``multiprocessing``
-  pool (``jobs=N``); results are merged in submission order, so
-  parallelism never changes the output;
+- unique executions are optionally fanned out over a process pool
+  (``jobs=N``); results are merged in submission order, so parallelism
+  never changes the output;
+- execution is *fault-isolated*: a crashing engine/benchmark cell
+  becomes one ``crashed`` row (the harness catches the exception), a
+  dying worker process breaks only its own jobs (the runner falls back
+  to in-parent serial execution for them), a configurable per-job wall
+  deadline turns runaway cells into ``timeout`` rows, and transient
+  failures (worker death, timeout) are retried with backoff -- so one
+  bad cell never destroys a completed grid;
 - an optional :class:`~repro.core.resultcache.ResultCache` persists
   kernel counter deltas across processes, letting warm runs re-price
   without executing a single guest instruction.  The cache is only
-  consulted under the deterministic MODELED timing policy.
+  consulted under the deterministic MODELED timing policy, and failure
+  records (error/crashed/timeout) are never cached.
 
 Engine configuration is described exclusively by
 :class:`~repro.sim.spec.EngineSpec`; :class:`JobSpec` is therefore
@@ -26,11 +34,23 @@ what makes pool transport -- and future sharded/remote execution --
 possible without pickling live engine state.
 """
 
-import multiprocessing
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.core.harness import Harness, SuiteResult, TimingPolicy
+from repro.core.harness import (
+    FAILURE_STATUSES,
+    ExecutionRecord,
+    Harness,
+    SuiteResult,
+    TimingPolicy,
+)
 from repro.core.resultcache import job_fingerprint
 from repro.core.suite import SUITE, get_benchmark
+from repro.errors import DeadlineExceeded, EngineCrashError
 from repro.sim.spec import EngineSpec, as_engine_spec
 
 
@@ -178,48 +198,167 @@ class JobSpec:
         )
 
 
+class _DeadlineExpired(BaseException):
+    """Internal watchdog signal.
+
+    Deliberately *not* an :class:`Exception` subclass: the harness's
+    crash containment catches ``Exception`` around the whole engine
+    run, and a deadline expiry must cut straight through it to become a
+    ``timeout`` record rather than a ``crashed`` one.
+    """
+
+
+def _call_with_deadline(func, deadline):
+    """Run ``func()`` under a wall-clock watchdog of ``deadline`` seconds.
+
+    Uses ``SIGALRM``/``setitimer``, so enforcement needs the calling
+    thread to be the process's main thread (true for pool workers and
+    for the CLI); elsewhere -- or without SIGALRM support -- the call
+    runs unguarded.  Raises :class:`_DeadlineExpired` on expiry.
+    """
+    if (
+        not deadline
+        or deadline <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return func()
+
+    def _on_alarm(signum, frame):
+        raise _DeadlineExpired()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, deadline)
+    try:
+        return func()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _guarded_execute(harness, spec, deadline):
+    """Execute one job with full fault containment.
+
+    Always returns an :class:`ExecutionRecord`: deadline expiry becomes
+    ``status="timeout"``, and any exception that somehow escapes the
+    harness's own crash containment becomes ``status="crashed"`` -- a
+    job can fail, but it cannot take its caller down with it.
+    """
+    try:
+        return _call_with_deadline(
+            lambda: harness.execute_benchmark(
+                spec.benchmark,
+                spec.engine_spec,
+                spec.arch,
+                spec.platform,
+                iterations=spec.iterations,
+            ),
+            deadline,
+        )
+    except _DeadlineExpired:
+        return ExecutionRecord(status="timeout", error=DeadlineExceeded(deadline))
+    except Exception as exc:
+        return ExecutionRecord(
+            status="crashed", error=EngineCrashError.from_exception(exc)
+        )
+
+
+def _terminate_pool_processes(pool):
+    """Hard-kill a ProcessPoolExecutor's workers (wedged-pool escape
+    hatch); relies on the private process table, so failures to reach
+    it degrade to waiting on shutdown."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
 #: Per-worker harness, created once per pool process so built guest
 #: programs are reused across the jobs that land on that worker.
 _WORKER_HARNESS = None
+_WORKER_DEADLINE = None
 
 
-def _init_worker(timing, max_insns):
-    global _WORKER_HARNESS
+def _init_worker(timing, max_insns, deadline=None):
+    global _WORKER_HARNESS, _WORKER_DEADLINE
     _WORKER_HARNESS = Harness(timing=timing, max_insns=max_insns)
+    _WORKER_DEADLINE = deadline
 
 
 def _execute_job(spec):
     """Pool worker: execute one job in this worker's harness.
 
     Module-level so it pickles by reference; the harness itself is
-    never shipped across the process boundary.
+    never shipped across the process boundary.  The per-job deadline is
+    enforced *inside* the worker (each worker runs one job at a time on
+    its main thread), so a timeout never requires killing the pool.
     """
-    return _WORKER_HARNESS.execute_benchmark(
-        spec.benchmark,
-        spec.engine_spec,
-        spec.arch,
-        spec.platform,
-        iterations=spec.iterations,
-    )
+    return _guarded_execute(_WORKER_HARNESS, spec, _WORKER_DEADLINE)
 
 
 class ExperimentRunner:
-    """Executes grids of :class:`JobSpec` with dedup, cache and fan-out."""
+    """Executes grids of :class:`JobSpec` with dedup, cache, fan-out
+    and fault isolation.
 
-    def __init__(self, harness=None, jobs=1, cache=None):
+    Parameters
+    ----------
+    jobs:
+        Fan unique executions over N worker processes (1 = serial).
+    cache:
+        Optional :class:`~repro.core.resultcache.ResultCache`.
+    deadline:
+        Per-job wall deadline in seconds (a watchdog on top of the
+        harness's ``max_insns`` budget); expiry yields a ``timeout``
+        record.  ``None`` disables the watchdog.
+    retries:
+        How many times to re-execute a job whose failure is *transient*
+        (worker death, deadline timeout).  Deterministic crashes under
+        MODELED timing are never retried -- the same inputs crash the
+        same way.  Under WALLCLOCK timing crashes are treated as
+        potentially transient and retried too.
+    retry_backoff:
+        Base sleep in seconds before a retry round (doubles per round).
+    """
+
+    def __init__(
+        self,
+        harness=None,
+        jobs=1,
+        cache=None,
+        deadline=None,
+        retries=1,
+        retry_backoff=0.05,
+    ):
         self.harness = harness if harness is not None else Harness(timing=TimingPolicy.MODELED)
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.deadline = float(deadline) if deadline else None
+        self.retries = max(0, int(retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
         #: Counters for the last :meth:`run` call.
         self.last_stats = {}
+        #: Failing grid cells accumulated across every :meth:`run` call
+        #: on this runner (drivers like Figure 8 issue several runs).
+        self.failures = []
+        self._exec_stats = {"retried": 0, "worker_lost": 0}
 
     # ------------------------------------------------------------------
     def _cache_usable(self):
         return self.cache is not None and self.harness.timing is TimingPolicy.MODELED
 
     def run(self, specs):
-        """Run a grid and return one BenchmarkResult per spec, in order."""
+        """Run a grid and return one BenchmarkResult per spec, in order.
+
+        Execution is fault-isolated: the returned list always has one
+        result per submitted spec, in submission order, whatever
+        individual cells did -- failures surface as ``crashed``/
+        ``timeout``/``error`` statuses (and in ``last_stats``), never
+        as a lost grid.
+        """
         specs = [spec if isinstance(spec, JobSpec) else JobSpec(*spec) for spec in specs]
+        self._exec_stats = {"retried": 0, "worker_lost": 0}
 
         # Group structurally-equal jobs in submission order.
         groups = {}
@@ -272,16 +411,22 @@ class ExperimentRunner:
                     },
                 )
 
+        statuses = [records[key].status for key, _ in pending]
         self.last_stats = {
             "jobs": len(specs),
             "unique": len(unique),
             "static": static,
             "cache_hits": len(unique) - static - len(pending),
             "executed": len(pending),
+            "crashed": statuses.count("crashed"),
+            "timeout": statuses.count("timeout"),
+            "errors": statuses.count("error"),
+            "retried": self._exec_stats["retried"],
+            "worker_lost": self._exec_stats["worker_lost"],
         }
 
         # Price every original spec against its shared record.
-        return [
+        results = [
             self.harness.price_record(
                 records[spec.execution_key()],
                 spec.benchmark,
@@ -292,28 +437,124 @@ class ExperimentRunner:
             )
             for spec in specs
         ]
+        # One entry per failing grid cell (submission order), for
+        # failure summaries without re-walking the results.
+        cell_failures = [
+            {
+                "benchmark": result.benchmark,
+                "simulator": result.simulator,
+                "arch": result.arch,
+                "status": result.status,
+                "error": str(result.error) if result.error else None,
+            }
+            for result in results
+            if result.status in FAILURE_STATUSES
+        ]
+        self.last_stats["failures"] = cell_failures
+        self.failures.extend(cell_failures)
+        return results
 
     def _execute_pending(self, specs):
+        """Execute ``specs``, returning one record per spec in
+        submission order -- never raising for a job's failure.
+
+        Pipeline: (1) optional pool fan-out, collecting whatever the
+        workers manage to produce; (2) in-parent serial execution for
+        jobs the pool lost (worker death, pool teardown); (3) retry
+        rounds with backoff for transient failures.
+        """
         if not specs:
             return []
+        results = [None] * len(specs)
         if self.jobs > 1 and len(specs) > 1:
-            workers = min(self.jobs, len(specs))
-            with multiprocessing.Pool(
-                processes=workers,
+            self._pool_round(specs, results)
+        # In-parent serial execution: the base path when jobs=1, the
+        # fallback for anything a broken pool failed to deliver.
+        lost = [index for index, record in enumerate(results) if record is None]
+        if self.jobs > 1 and len(specs) > 1 and lost:
+            self._exec_stats["worker_lost"] += len(lost)
+        for index in lost:
+            results[index] = _guarded_execute(self.harness, specs[index], self.deadline)
+        self._retry_transient(specs, results)
+        return results
+
+    def _pool_round(self, specs, results):
+        """One pool pass over ``specs``, filling ``results`` in place.
+
+        Jobs whose futures fail to deliver a record (worker death,
+        ``BrokenProcessPool``, transport errors) are simply left as
+        ``None`` for the caller's serial fallback; completed results
+        collected before a pool breakage are kept.
+        """
+        workers = min(self.jobs, len(specs))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.harness.timing, self.harness.max_insns),
+                initargs=(self.harness.timing, self.harness.max_insns, self.deadline),
             ) as pool:
-                return pool.map(_execute_job, specs, chunksize=1)
-        return [
-            self.harness.execute_benchmark(
-                spec.benchmark,
-                spec.engine_spec,
-                spec.arch,
-                spec.platform,
-                iterations=spec.iterations,
-            )
-            for spec in specs
-        ]
+                futures = [pool.submit(_execute_job, spec) for spec in specs]
+                # Safety net over the worker-side watchdog: if a worker
+                # wedges in uninterruptible code, stop waiting for it
+                # (it is then handled -- and timed -- in-parent).
+                hard_cap = None
+                if self.deadline:
+                    hard_cap = max(self.deadline * 4.0, self.deadline + 30.0)
+                for index, future in enumerate(futures):
+                    try:
+                        results[index] = future.result(timeout=hard_cap)
+                    except FutureTimeoutError:
+                        # A worker wedged in uninterruptible code past
+                        # the watchdog's hard cap.  Kill the pool (or
+                        # shutdown would join the wedged worker
+                        # forever), harvest anything already finished,
+                        # and let the serial fallback take the rest.
+                        _terminate_pool_processes(pool)
+                        for done_index, done in enumerate(futures):
+                            if results[done_index] is None and done.done():
+                                try:
+                                    results[done_index] = done.result(timeout=0)
+                                except Exception:
+                                    pass
+                        break
+                    except Exception:
+                        # BrokenProcessPool, cancelled futures, or a
+                        # record that failed to unpickle: the job is
+                        # re-run in-parent either way.
+                        pass
+        except (BrokenProcessPool, OSError):
+            # Pool setup/teardown itself failed; everything undelivered
+            # falls back to the serial path.
+            pass
+
+    def _retriable(self, record):
+        """Whether a failed record's cause is plausibly transient."""
+        if record.status == "timeout":
+            # Wall time is never deterministic: a loaded host can
+            # blow the deadline on a job that normally fits it.
+            return True
+        if record.status == "crashed":
+            # Under MODELED timing execution is a pure function of the
+            # job's inputs, so a crash is deterministic and a retry
+            # can only waste time.
+            return self.harness.timing is not TimingPolicy.MODELED
+        return False
+
+    def _retry_transient(self, specs, results):
+        """Re-execute transiently-failed jobs, up to ``retries`` rounds
+        with exponential backoff, in-parent (deterministic merge: a
+        retried success is bit-for-bit what a clean run produces)."""
+        for attempt in range(1, self.retries + 1):
+            retry = [i for i, record in enumerate(results) if self._retriable(record)]
+            if not retry:
+                return
+            if self.retry_backoff:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            self._exec_stats["retried"] += len(retry)
+            for index in retry:
+                results[index] = _guarded_execute(
+                    self.harness, specs[index], self.deadline
+                )
 
     # ------------------------------------------------------------------
     def run_suite(

@@ -108,3 +108,97 @@ class GuestHalted(ReproError):
 
 class HarnessError(ReproError):
     """Raised when a benchmark run violates the three-phase protocol."""
+
+
+class EngineCrashError(ReproError):
+    """An unexpected exception escaped an engine/decoder/MMU during a run.
+
+    The harness converts such exceptions into ``status="crashed"``
+    execution records instead of letting one bad grid cell destroy a
+    whole suite.  The original exception is captured as plain strings
+    (type name, message, trimmed traceback summary) so the record stays
+    picklable and JSON-serialisable across pool and cache boundaries.
+    """
+
+    def __init__(self, exc_type, exc_message, traceback_summary=""):
+        self.exc_type = exc_type
+        self.exc_message = exc_message
+        self.traceback_summary = traceback_summary
+        super().__init__("%s: %s" % (exc_type, exc_message))
+
+    @classmethod
+    def from_exception(cls, exc, limit=5):
+        """Capture a live exception (type, message, last frames)."""
+        import traceback
+
+        frames = traceback.format_tb(exc.__traceback__)[-limit:]
+        return cls(type(exc).__name__, str(exc), "".join(frames).rstrip())
+
+    def __reduce__(self):
+        return (type(self), (self.exc_type, self.exc_message, self.traceback_summary))
+
+
+class DeadlineExceeded(ReproError):
+    """A job exceeded its per-job wall deadline (runner watchdog)."""
+
+    def __init__(self, deadline_s):
+        self.deadline_s = deadline_s
+        super().__init__("job exceeded the %.3gs wall deadline" % deadline_s)
+
+    def __reduce__(self):
+        return (type(self), (self.deadline_s,))
+
+
+#: Error classes that round-trip losslessly through
+#: :func:`error_to_payload`/:func:`error_from_payload` with structured
+#: constructor arguments (everything an :class:`ExecutionRecord` may
+#: legitimately carry).
+_PAYLOAD_ARGS = {
+    "UnsupportedFeatureError": (
+        UnsupportedFeatureError,
+        lambda e: [e.simulator, e.feature],
+    ),
+    "GuestHalted": (GuestHalted, lambda e: [e.code]),
+    "EngineCrashError": (
+        EngineCrashError,
+        lambda e: [e.exc_type, e.exc_message, e.traceback_summary],
+    ),
+    "DeadlineExceeded": (DeadlineExceeded, lambda e: [e.deadline_s]),
+}
+
+#: Message-only error classes reconstructed as ``cls(message)``.
+_PAYLOAD_MESSAGE_ONLY = {
+    "HarnessError": HarnessError,
+    "ReproError": ReproError,
+}
+
+
+def error_to_payload(error):
+    """A JSON-serialisable description of a record's error, or None.
+
+    Every status's cause survives the round-trip: the class name and
+    message always, plus structured fields for the known classes above.
+    Unknown classes degrade to (class name, message) and come back as a
+    :class:`ReproError` whose message names the original class.
+    """
+    if error is None:
+        return None
+    payload = {"class": type(error).__name__, "message": str(error)}
+    entry = _PAYLOAD_ARGS.get(payload["class"])
+    if entry is not None and isinstance(error, entry[0]):
+        payload["args"] = entry[1](error)
+    return payload
+
+
+def error_from_payload(payload):
+    """Reconstruct the error described by :func:`error_to_payload`."""
+    if payload is None:
+        return None
+    name = payload.get("class", "ReproError")
+    entry = _PAYLOAD_ARGS.get(name)
+    if entry is not None and "args" in payload:
+        return entry[0](*payload["args"])
+    cls = _PAYLOAD_MESSAGE_ONLY.get(name)
+    if cls is not None:
+        return cls(payload.get("message", ""))
+    return ReproError("%s: %s" % (name, payload.get("message", "")))

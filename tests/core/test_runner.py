@@ -163,6 +163,12 @@ class TestDeduplication:
             "static": 0,
             "cache_hits": 0,
             "executed": 2,
+            "crashed": 0,
+            "timeout": 0,
+            "errors": 0,
+            "retried": 0,
+            "worker_lost": 0,
+            "failures": [],
         }
 
     def test_deduped_results_match_naive_serial(self):

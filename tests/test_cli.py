@@ -68,6 +68,15 @@ class TestEngineOptions:
         assert code == 2
         assert "KEY=VALUE" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("raw", ["nan", "inf", "-inf", "Infinity", "1e999"])
+    def test_non_finite_engine_opt_exits_2(self, raw, capsys):
+        code = main([
+            "run", "System Call", "--sim", "simit",
+            "--engine-opt", "tlb_capacity=%s" % raw,
+        ])
+        assert code == 2
+        assert "non-finite" in capsys.readouterr().err
+
 
 class TestRunCommand:
     def test_run_benchmark(self, capsys):
@@ -110,6 +119,15 @@ class TestRunnerOptions:
         captured = capsys.readouterr()
         assert captured.out == cold  # warm run reproduces the cold run
         assert "cache hits" in captured.err
+
+    def test_fault_knobs_accepted_on_clean_run(self, capsys):
+        # --deadline/--retries/--keep-going parse and a clean grid
+        # still exits 0 with no failure summary.
+        args = ["suite", "--sim", "simit", "--scale", "0.05",
+                "--deadline", "60", "--retries", "2", "--keep-going"]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "cell(s) failed" not in captured.err
 
     def test_cache_stats_and_clear(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -172,3 +190,60 @@ class TestDetectCommand:
     def test_detect_interpreter(self, capsys):
         assert main(["detect", "simit"]) == 0
         assert "interpreter" in capsys.readouterr().out
+
+
+class TestFailureSummary:
+    def _failed_runner(self):
+        from repro.arch import ARM
+        from repro.core import ExperimentRunner, JobSpec
+        from repro.platform import VEXPRESS
+        from tests.core.test_faults import CrashingBenchmark
+
+        runner = ExperimentRunner()
+        runner.run([JobSpec(CrashingBenchmark(), "simit", ARM, VEXPRESS)])
+        return runner
+
+    def test_failures_exit_distinct_status_with_summary(self, capsys):
+        import argparse
+
+        from repro.cli import EXIT_GRID_FAILURES, _failure_summary
+
+        runner = self._failed_runner()
+        code = _failure_summary(argparse.Namespace(keep_going=False), runner)
+        assert code == EXIT_GRID_FAILURES == 3
+        err = capsys.readouterr().err
+        assert "1 cell(s) failed" in err
+        assert "Crashing Cell" in err and "crashed" in err
+
+    def test_keep_going_suppresses_failure_exit(self, capsys):
+        from repro.cli import _failure_summary
+
+        runner = self._failed_runner()
+        code = _failure_summary(
+            __import__("argparse").Namespace(keep_going=True), runner
+        )
+        assert code == 0
+        # The summary is still printed; only the exit status changes.
+        assert "Crashing Cell" in capsys.readouterr().err
+
+
+class TestBrokenPipe:
+    @pytest.mark.parametrize("stream", ["stdout", "stderr"])
+    def test_broken_pipe_exits_quietly(self, stream, monkeypatch):
+        # A broken stdout *or* stderr pipe (e.g. `repro suite | head`
+        # with the failure summary mid-flight) must exit 0, not
+        # traceback.  Real streams are replaced so the handler's
+        # devnull redirection cannot touch pytest's capture fds (their
+        # fileno() raising exercises the handler's degraded path).
+        import io
+        import sys as _sys
+
+        import repro.cli as cli
+
+        def _boom(_args):
+            raise BrokenPipeError("broken %s" % stream)
+
+        monkeypatch.setitem(cli._COMMANDS, "list", _boom)
+        monkeypatch.setattr(_sys, "stdout", io.StringIO())
+        monkeypatch.setattr(_sys, "stderr", io.StringIO())
+        assert main(["list"]) == 0
