@@ -47,6 +47,7 @@ from repro.core import (
 )
 from repro.platform import PLATFORMS, get_platform
 from repro.sim import SIMULATOR_CLASSES
+from repro.sim.dbt.codestore import CodeStore
 from repro.sim.dbt.versions import QEMU_VERSIONS
 from repro.sim.spec import SPEC_CLASSES, spec_for
 from repro.workloads import SPEC_PROXIES
@@ -141,6 +142,13 @@ def _add_runner_options(parser):
         "deltas instead of executing guest code (modeled timing only)",
     )
     parser.add_argument(
+        "--code-cache-dir",
+        default=None,
+        help="persistent DBT code-cache directory; warm runs reuse "
+        "compiled translations across processes (host-side only -- "
+        "guest-visible counters are unaffected)",
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         default=None,
@@ -185,6 +193,7 @@ def _runner_for(args, harness=None):
         cache=cache,
         deadline=getattr(args, "deadline", None),
         retries=getattr(args, "retries", 1),
+        code_cache_dir=getattr(args, "code_cache_dir", None),
     )
 
 
@@ -430,6 +439,20 @@ def _cmd_cache(args):
     else:
         removed = cache.clear()
         print("removed %d cache entries from %s" % (removed, args.cache_dir))
+    if args.code_cache_dir:
+        store = CodeStore(args.code_cache_dir)
+        if args.action == "stats":
+            stats = store.stats()
+            print("code cache %s" % stats["root"])
+            print("  entries:     %d" % stats["entries"])
+            print("  bytes:       %d" % stats["bytes"])
+            print("  hits:        %d" % stats["hits"])
+            print("  misses:      %d" % stats["misses"])
+            print("  quarantined: %d" % stats["quarantined"])
+        else:
+            removed = store.clear()
+            print("removed %d code-cache entries from %s"
+                  % (removed, args.code_cache_dir))
     return 0
 
 
@@ -529,6 +552,11 @@ def build_parser():
     p_cache = sub.add_parser("cache", help="inspect or clear a result cache")
     p_cache.add_argument("action", choices=["stats", "clear"])
     p_cache.add_argument("--cache-dir", default=".repro-cache")
+    p_cache.add_argument(
+        "--code-cache-dir",
+        default=None,
+        help="also report/clear the persistent DBT code cache at this path",
+    )
 
     p_detect = sub.add_parser("detect", help="sandbox-detect an engine")
     p_detect.add_argument("simulator", choices=sorted(SIMULATOR_CLASSES))

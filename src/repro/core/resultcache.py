@@ -23,10 +23,10 @@ so a bad file is paid for at most once.
 import hashlib
 import json
 import os
-import tempfile
 
 from repro.core.harness import ExecutionRecord
 from repro.sim.base import COUNTER_NAMES
+from repro.storage import DirectoryStore
 
 #: Bump when the meaning of stored deltas or the key format changes
 #: (e.g. counter semantics, phase-marker protocol, fingerprint layout).
@@ -75,109 +75,26 @@ def job_fingerprint(benchmark, simulator, arch, platform, iterations, structure)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-class ResultCache:
+class ResultCache(DirectoryStore):
     """On-disk store of execution records, keyed by job fingerprint."""
 
-    def __init__(self, root):
-        self.root = os.fspath(root)
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.quarantined = 0
+    def _read_entry(self, path):
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        return ExecutionRecord.from_payload(payload["record"])
 
-    # ------------------------------------------------------------------
-    def _path(self, key):
-        return os.path.join(self.root, key[:2], key + ".json")
-
-    def get(self, key):
-        """The stored :class:`ExecutionRecord`, or ``None`` on a miss.
-
-        An entry that exists but fails to decode is *quarantined*
-        (unlinked) rather than left to make every future run re-pay a
-        doomed open+parse; the next ``put`` rewrites it cleanly.
-        """
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-            record = ExecutionRecord.from_payload(payload["record"])
-        except OSError:
-            self.misses += 1
-            return None
-        except (ValueError, KeyError, TypeError):
-            self.misses += 1
-            self.quarantined += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-            return None
-        self.hits += 1
-        return record
+    def _write_entry(self, fd, payload):
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
 
     def put(self, key, record, meta=None):
         """Store a record atomically (write to a temp file, then rename)."""
-        path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = {"schema": schema_tag(), "record": record.to_payload()}
         if meta:
             payload["meta"] = meta
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stores += 1
-
-    # ------------------------------------------------------------------
-    def _entry_paths(self):
-        if not os.path.isdir(self.root):
-            return
-        for prefix in sorted(os.listdir(self.root)):
-            subdir = os.path.join(self.root, prefix)
-            if not os.path.isdir(subdir):
-                continue
-            for name in sorted(os.listdir(subdir)):
-                if name.endswith(".json"):
-                    yield os.path.join(subdir, name)
+        DirectoryStore.put(self, key, payload)
 
     def stats(self):
-        """Summary of the on-disk store plus this session's counters."""
-        entries = 0
-        total_bytes = 0
-        for path in self._entry_paths():
-            entries += 1
-            try:
-                total_bytes += os.path.getsize(path)
-            except OSError:
-                pass
-        return {
-            "root": self.root,
-            "entries": entries,
-            "bytes": total_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "quarantined": self.quarantined,
-            "schema": schema_tag(),
-        }
-
-    def clear(self):
-        """Delete every cache entry; returns the number removed."""
-        removed = 0
-        for path in list(self._entry_paths()):
-            try:
-                os.unlink(path)
-                removed += 1
-            except OSError:
-                pass
-        return removed
-
-    def __repr__(self):
-        return "ResultCache(%r)" % self.root
+        stats = DirectoryStore.stats(self)
+        stats["schema"] = schema_tag()
+        return stats

@@ -34,6 +34,7 @@ what makes pool transport -- and future sharded/remote execution --
 possible without pickling live engine state.
 """
 
+import os
 import signal
 import threading
 import time
@@ -51,6 +52,7 @@ from repro.core.harness import (
 from repro.core.resultcache import job_fingerprint
 from repro.core.suite import SUITE, get_benchmark
 from repro.errors import DeadlineExceeded, EngineCrashError
+from repro.sim.dbt import codestore
 from repro.sim.spec import EngineSpec, as_engine_spec
 
 
@@ -281,10 +283,14 @@ _WORKER_HARNESS = None
 _WORKER_DEADLINE = None
 
 
-def _init_worker(timing, max_insns, deadline=None):
+def _init_worker(timing, max_insns, deadline=None, code_cache_dir=None):
     global _WORKER_HARNESS, _WORKER_DEADLINE
     _WORKER_HARNESS = Harness(timing=timing, max_insns=max_insns)
     _WORKER_DEADLINE = deadline
+    if code_cache_dir is not None:
+        # Workers are fresh processes: install the persistent DBT code
+        # store so warm translations are shared across the whole pool.
+        codestore.configure(code_cache_dir)
 
 
 def _execute_job(spec):
@@ -320,6 +326,11 @@ class ExperimentRunner:
         potentially transient and retried too.
     retry_backoff:
         Base sleep in seconds before a retry round (doubles per round).
+    code_cache_dir:
+        Directory for the persistent DBT code store
+        (:mod:`repro.sim.dbt.codestore`).  Installed process-wide here
+        and in every pool worker, so warm sweeps skip translation; a
+        host-side cache only -- counters and results are unchanged.
     """
 
     def __init__(
@@ -330,6 +341,7 @@ class ExperimentRunner:
         deadline=None,
         retries=1,
         retry_backoff=0.05,
+        code_cache_dir=None,
     ):
         self.harness = harness if harness is not None else Harness(timing=TimingPolicy.MODELED)
         self.jobs = max(1, int(jobs))
@@ -337,6 +349,9 @@ class ExperimentRunner:
         self.deadline = float(deadline) if deadline else None
         self.retries = max(0, int(retries))
         self.retry_backoff = max(0.0, float(retry_backoff))
+        self.code_cache_dir = os.fspath(code_cache_dir) if code_cache_dir else None
+        if self.code_cache_dir is not None:
+            codestore.configure(self.code_cache_dir)
         #: Counters for the last :meth:`run` call.
         self.last_stats = {}
         #: Failing grid cells accumulated across every :meth:`run` call
@@ -491,7 +506,12 @@ class ExperimentRunner:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.harness.timing, self.harness.max_insns, self.deadline),
+                initargs=(
+                    self.harness.timing,
+                    self.harness.max_insns,
+                    self.deadline,
+                    self.code_cache_dir,
+                ),
             ) as pool:
                 futures = [pool.submit(_execute_job, spec) for spec in specs]
                 # Safety net over the worker-side watchdog: if a worker

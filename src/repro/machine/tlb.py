@@ -44,6 +44,12 @@ class SoftTLB:
         self.hits += 1
         return entry
 
+    def peek(self, vaddr):
+        """``lookup`` without touching the hit/miss tallies (used by
+        the engines' last-data-page fast path to capture the live
+        entry after an accounted translation)."""
+        return self._entries.get(_vpage(vaddr))
+
     def insert(self, vaddr, result):
         key = _vpage(vaddr)
         if key not in self._entries and len(self._entries) >= self.capacity:
@@ -97,6 +103,9 @@ class ASIDTaggedTLB(SoftTLB):
             return None
         self.hits += 1
         return entry
+
+    def peek(self, vaddr):
+        return self._entries.get(self._key(vaddr))
 
     def insert(self, vaddr, result):
         key = self._key(vaddr)

@@ -36,6 +36,7 @@ COUNTER_NAMES = (
     "decode_hits",
     "decode_misses",
     "translations",
+    "retranslations",
     "translated_insns",
     "block_executions",
     "chain_follows",

@@ -25,6 +25,7 @@ class TranslatedBlock:
         "succ_taken",
         "succ_not",
         "source",
+        "word_bytes",
     )
 
     def __init__(self, vaddr, paddr, insn_count, fn, source=None):
@@ -36,6 +37,10 @@ class TranslatedBlock:
         self.succ_taken = None
         self.succ_not = None
         self.source = source
+        #: Raw instruction bytes the block was translated from (the
+        #: content identity used by memoization and retranslation
+        #: accounting); ``None`` for hand-built blocks in tests.
+        self.word_bytes = None
 
     @property
     def ppage(self):

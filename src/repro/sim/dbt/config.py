@@ -37,6 +37,13 @@ class DBTConfig:
         Tag softmmu TLB slots with the guest ASID so address-space
         switches retag instead of flushing (off by default, matching
         QEMU's historical flush-on-context-switch behaviour).
+    memoize:
+        Host-only knob: reuse lowered source and compiled code objects
+        for byte-identical blocks through the process-wide
+        :data:`~repro.sim.dbt.translator.TRANSLATION_MEMO`.  Guest-visible
+        behaviour and counters are unaffected -- translation still
+        *happens* (and is accounted) per engine, only the host-side
+        lowering and ``compile()`` are skipped.
     """
 
     def __init__(
@@ -49,6 +56,7 @@ class DBTConfig:
         cost_overrides=None,
         version=None,
         asid_tagged=False,
+        memoize=True,
     ):
         if max_block_insns < 1:
             raise ValueError("max_block_insns must be positive")
@@ -62,6 +70,20 @@ class DBTConfig:
         self.cost_overrides = dict(cost_overrides or {})
         self.version = version
         self.asid_tagged = asid_tagged
+        self.memoize = memoize
+
+    def translation_key(self):
+        """The structural knobs generated code depends on.
+
+        Lowered source is a pure function of (instruction bytes, start
+        vaddr, this key): chaining flags change emitted exits and
+        ``max_block_insns`` changes where decoding stops.  Everything
+        else (TLB geometry, cache capacity, costs) prices or places
+        blocks without altering their code, so memo/code-store entries
+        are shared across those dimensions -- the whole point of
+        memoizing a version sweep.
+        """
+        return (self.chain_enabled, self.chain_cross_page, self.max_block_insns)
 
     def replace(self, **kwargs):
         """Return a copy with the given fields replaced."""
@@ -74,6 +96,7 @@ class DBTConfig:
             "cost_overrides": dict(self.cost_overrides),
             "version": self.version,
             "asid_tagged": self.asid_tagged,
+            "memoize": self.memoize,
         }
         fields.update(kwargs)
         return DBTConfig(**fields)

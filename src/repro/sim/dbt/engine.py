@@ -73,6 +73,11 @@ class DBTSimulator(Simulator):
         self.fault_state = (0, 0)
         #: (block, slot) requesting a chain patch after the next lookup.
         self.pending_chain = None
+        #: Content signatures of every block this engine has translated;
+        #: re-seeing one (the same bytes at the same place, e.g. after an
+        #: SMC invalidation or a tcache flush) is a *retranslation* --
+        #: work a smarter code cache could have kept.
+        self._translated_sigs = set()
 
     # ------------------------------------------------------------------
     # TLB maintenance
@@ -326,6 +331,15 @@ class DBTSimulator(Simulator):
             self._exec_pages.add(block.ppage)
             counters.translations += 1
             counters.translated_insns += block.insn_count
+            # Same bytes translated at the same place before: the
+            # Code-Generation figures report this split.  (Unpriced, so
+            # modeled results are unchanged; ``translations`` still
+            # counts every translate.)
+            sig = (vaddr, paddr, block.word_bytes)
+            if sig in self._translated_sigs:
+                counters.retranslations += 1
+            else:
+                self._translated_sigs.add(sig)
         if pend is not None:
             pend[0].set_succ(pend[1], block)
         return block

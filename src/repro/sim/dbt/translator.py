@@ -11,13 +11,73 @@ Generated blocks follow the contract documented on
 :class:`~repro.sim.dbt.blockcache.TranslatedBlock`.
 """
 
+import collections
+
 from repro.errors import DecodeError
 from repro.isa.decoder import decode
 from repro.isa.encoding import BLOCK_END_OPS, Op
+from repro.sim.dbt import codestore
 from repro.sim.dbt.blockcache import TranslatedBlock
 
 MASK = "4294967295"
 PAGE_SHIFT = 12
+
+
+class _MemoEntry:
+    """Reusable product of one lowering: everything except the block
+    object itself, which carries per-engine chain state and must stay
+    private to its translation cache."""
+
+    __slots__ = ("word_bytes", "insn_count", "source", "make")
+
+    def __init__(self, word_bytes, insn_count, source, make):
+        self.word_bytes = word_bytes
+        self.insn_count = insn_count
+        self.source = source
+        self.make = make
+
+
+class TranslationMemo:
+    """Process-wide bounded LRU of lowered+compiled blocks.
+
+    Keyed by ``(vaddr, DBTConfig.translation_key())``; generated source
+    embeds absolute PCs, so the start address is part of the identity.
+    Hits are verified against the live instruction bytes before reuse
+    (see :meth:`Translator.translate`), which makes entries safe across
+    self-modifying code and across the many engines of a sweep.
+    """
+
+    def __init__(self, capacity=16384):
+        self.capacity = capacity
+        self._entries = collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def insert(self, key, entry):
+        entries = self._entries
+        if key not in entries and len(entries) >= self.capacity:
+            entries.popitem(last=False)
+        entries[key] = entry
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+
+#: Shared across every engine in the process: a 20-version sweep
+#: lowers and compiles each distinct block once, not twenty times.
+TRANSLATION_MEMO = TranslationMemo()
 
 
 class Translator:
@@ -29,26 +89,83 @@ class Translator:
     # ------------------------------------------------------------------
     def translate(self, memory, vaddr, paddr):
         """Translate the block starting at ``vaddr`` (physical
-        ``paddr``) and return a :class:`TranslatedBlock`."""
-        insns = self._decode_block(memory, paddr)
-        source = self._generate(insns, vaddr)
-        namespace = {}
-        code = compile(source, "<dbt block 0x%08x>" % vaddr, "exec")
-        exec(code, namespace)
-        block = TranslatedBlock(vaddr, paddr, len(insns), fn=None, source=source)
-        block.fn = namespace["make"](block)
+        ``paddr``) and return a :class:`TranslatedBlock`.
+
+        Hot path: a memo (or persistent code-store) hit binds an
+        already-compiled ``make`` factory to a fresh block -- no
+        lowering, no ``compile``, no ``exec`` (memo) / one ``exec``
+        (disk).  Accounting is the caller's and does not change with
+        the cache level that served the block.
+        """
+        cfg = self.config
+        cfg_key = cfg.translation_key()
+        memo_key = (vaddr, cfg_key)
+        if cfg.memoize:
+            entry = TRANSLATION_MEMO.get(memo_key)
+            if entry is not None and self._entry_matches(memory, paddr, entry):
+                return self._bind(entry, vaddr, paddr)
+        insns, word_bytes = self._decode_block(memory, paddr)
+        entry = None
+        store = codestore.active()
+        key = None
+        if store is not None:
+            key = codestore.block_key(cfg_key, vaddr, word_bytes)
+            payload = store.get(key)
+            if payload is not None and payload[0] == word_bytes:
+                _wb, insn_count, source, code = payload
+                namespace = {}
+                exec(code, namespace)
+                entry = _MemoEntry(word_bytes, insn_count, source, namespace["make"])
+        if entry is None:
+            source = self._generate(insns, vaddr)
+            code = compile(source, "<dbt block 0x%08x>" % vaddr, "exec")
+            namespace = {}
+            exec(code, namespace)
+            entry = _MemoEntry(word_bytes, len(insns), source, namespace["make"])
+            if store is not None:
+                store.put(key, (word_bytes, entry.insn_count, source, code))
+        if cfg.memoize:
+            TRANSLATION_MEMO.insert(memo_key, entry)
+        return self._bind(entry, vaddr, paddr)
+
+    @staticmethod
+    def _entry_matches(memory, paddr, entry):
+        """True when the live bytes at ``paddr`` still spell the memoized
+        block.  Compared straight out of the RAM region (no ``read32``,
+        so no chance of device side effects); anything not fully
+        RAM-backed simply misses and takes the full path."""
+        region = memory.find_ram(paddr, 4)
+        if region is None:
+            return False
+        word_bytes = entry.word_bytes
+        if not region.contains(paddr, len(word_bytes)):
+            return False
+        off = paddr - region.base
+        return region.data[off : off + len(word_bytes)] == word_bytes
+
+    @staticmethod
+    def _bind(entry, vaddr, paddr):
+        block = TranslatedBlock(
+            vaddr, paddr, entry.insn_count, fn=None, source=entry.source
+        )
+        block.word_bytes = entry.word_bytes
+        block.fn = entry.make(block)
         return block
 
     def _decode_block(self, memory, paddr):
         """Decode instructions until a block-ending op, the page end, or
         the configured length limit.  Undecodable words terminate the
-        block with an UNDEF terminal (handled in codegen via op=None)."""
+        block with an UNDEF terminal (handled in codegen via op=None).
+        Returns ``(insns, word_bytes)``; the raw bytes are the block's
+        content identity for memoization and SMC verification."""
         insns = []
+        words = bytearray()
         addr = paddr
         page_end = (paddr | ((1 << PAGE_SHIFT) - 1)) + 1
         max_insns = self.config.max_block_insns
         while addr < page_end and len(insns) < max_insns:
             word = memory.read32(addr)
+            words += word.to_bytes(4, "little")
             try:
                 insn = decode(word)
             except DecodeError:
@@ -58,7 +175,7 @@ class Translator:
             if insn.op in BLOCK_END_OPS:
                 break
             addr += 4
-        return insns
+        return insns, bytes(words)
 
     # ------------------------------------------------------------------
     # Code generation

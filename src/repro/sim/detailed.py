@@ -89,6 +89,10 @@ class DetailedInterpreter(FunctionalCore):
             arch=arch,
             dtlb=SetAssociativeTLB(sets=tlb_sets, ways=tlb_ways),
             itlb=SetAssociativeTLB(sets=16, ways=2),
+            # No decode cache, and therefore no predecoded block
+            # replay either (see FunctionalCore.run): every fetch pays
+            # the full decode, and the per-instruction _pre_execute
+            # micro-op model below would be skipped by block replay.
             use_decode_cache=False,
         )
         self.mode = mode

@@ -10,7 +10,7 @@ execution path but reuses the same delivery and translation rules.
 
 from repro.errors import DecodeError, UnsupportedFeatureError
 from repro.isa.decoder import decode
-from repro.isa.encoding import Op
+from repro.isa.encoding import BLOCK_END_OPS, Op
 from repro.machine.coprocessor import UndefinedCoprocessorAccess
 from repro.machine.cpu import ExceptionVector, PSR_FLAGS_MASK, PSR_IRQ_ENABLE, PSR_MODE_KERNEL
 from repro.machine.mmu import AccessType, Fault, FaultType
@@ -19,6 +19,13 @@ from repro.sim.base import ExitReason, RunResult, Simulator
 
 MASK32 = 0xFFFFFFFF
 PAGE_SHIFT = 12
+
+#: Ops that end a predecoded straight-line run.  Everything in the
+#: ISA's block-end set, plus MCR: a coprocessor write can toggle the
+#: MMU or perform TLB maintenance, and the baseline loop re-fetches
+#: through the updated translation regime on the very next instruction.
+#: (MRC is read-only and safe mid-run.)
+_BLOCK_TERMINALS = frozenset(BLOCK_END_OPS) | {Op.MCR}
 
 
 class GuestUndef(Exception):
@@ -42,6 +49,14 @@ class FunctionalCore(Simulator):
     use_decode_cache:
         Cache decoded instructions by physical address (invalidated on
         stores into cached pages, i.e. self-modifying code is handled).
+    use_block_cache:
+        Additionally cache *predecoded straight-line runs* per physical
+        page and replay them with one fetch translation per entry (a
+        host-only fast path: guest-visible counters are bit-identical
+        to per-instruction dispatch).  Requires the decode cache; falls
+        back to the baseline loop whenever a per-instruction
+        ``_pre_execute`` hook (tracer, debugger, detailed model) is
+        attached.
     asid_tagged:
         Model an ASID-tagged data TLB: address-space switches retag
         instead of flushing.  Engines without tagging must flush the
@@ -62,6 +77,7 @@ class FunctionalCore(Simulator):
         dtlb=None,
         itlb=None,
         use_decode_cache=True,
+        use_block_cache=False,
         asid_tagged=False,
     ):
         super().__init__(board, arch)
@@ -74,6 +90,7 @@ class FunctionalCore(Simulator):
         self._dtlb = dtlb if dtlb is not None else SoftTLB(capacity=64)
         self._itlb = itlb if itlb is not None else SoftTLB(capacity=32)
         self._use_decode_cache = use_decode_cache
+        self._use_block_cache = use_block_cache and use_decode_cache
         #: Decoded-instruction cache, one dict per physical page
         #: (``ppage -> {paddr: (word, insn)}``) so an SMC invalidation
         #: drops the whole page in O(1) instead of probing every
@@ -91,6 +108,25 @@ class FunctionalCore(Simulator):
         #: SCTLR.M and the privilege mode are part of the key, so mode
         #: or translation-regime changes miss naturally.
         self._fetch_state = None
+        #: Last-page *data* fast path, mirroring the fetch one:
+        #: ``(vpage, sctlr_bit, entry_or_None, data, page_off, ppage)``.
+        #: ``entry`` is the live data-TLB entry when the MMU was on at
+        #: arm time (permissions are re-checked per access) and ``None``
+        #: for a physical (MMU-off) page.  Armed only for RAM pages
+        #: fully inside their region, and -- with the MMU on -- only for
+        #: TLBs whose ``lookup`` is side-effect-free beyond its own
+        #: tallies (the SoftTLB family; the set-associative model
+        #: mutates LRU order on lookup and must keep the slow path).
+        self._data_state = None
+        self._data_fast_ok = isinstance(self._dtlb, SoftTLB)
+        #: Predecoded straight-line runs, one dict per physical page
+        #: (``ppage -> {start_paddr: [(handler, insn), ...]}``), dropped
+        #: together with the decode page on SMC invalidation.
+        self._block_pages = {}
+        #: Bumped on every code-page invalidation; replay/record loops
+        #: compare it per instruction so a self-modifying store bails
+        #: out exactly where the baseline loop would start re-decoding.
+        self._block_epoch = 0
         self._cp15.tlb_flush_hook = self._on_tlb_flush
         self._cp15.tlb_invalidate_hook = self._on_tlb_invalidate
         self._cp15.asid_hook = self._on_asid_write
@@ -103,11 +139,13 @@ class FunctionalCore(Simulator):
         self.counters.tlb_flushes += 1
         self._dtlb.flush()
         self._fetch_state = None
+        self._data_state = None
 
     def _on_tlb_invalidate(self, vaddr):
         self.counters.tlb_invalidations += 1
         self._dtlb.invalidate(vaddr)
         self._fetch_state = None
+        self._data_state = None
 
     def _on_asid_write(self, asid):
         """Address-space switch: retag if the TLB supports ASIDs,
@@ -118,6 +156,7 @@ class FunctionalCore(Simulator):
         else:
             self._dtlb.flush()
         self._fetch_state = None
+        self._data_state = None
 
     # ------------------------------------------------------------------
     # Address translation
@@ -126,20 +165,25 @@ class FunctionalCore(Simulator):
         cp15 = self._cp15
         if not cp15.sctlr & 1:
             return vaddr
-        entry = self._dtlb.lookup(vaddr)
+        dtlb = self._dtlb
+        counters = self.counters
+        entry = dtlb.lookup(vaddr)
         if entry is not None:
-            self.counters.tlb_hits += 1
+            counters.tlb_hits += 1
             if not entry.allows(access, kernel):
                 raise Fault(FaultType.PERMISSION, vaddr, access)
             return entry.ppage | (vaddr & 0xFFF)
-        self.counters.tlb_misses += 1
+        counters.tlb_misses += 1
         result = self._walker.walk(cp15.ttbr, vaddr, access, kernel)
-        self.counters.ptw_levels += result.levels
+        counters.ptw_levels += result.levels
         entry = result.narrow(vaddr)
-        before = self._dtlb.evictions
-        self._dtlb.insert(vaddr, entry)
-        if self._dtlb.evictions != before:
-            self.counters.tlb_evictions += 1
+        before = dtlb.evictions
+        dtlb.insert(vaddr, entry)
+        if dtlb.evictions != before:
+            counters.tlb_evictions += 1
+            # The victim may be the armed last-data page; a fast-path
+            # hit on it would then diverge from the baseline's miss.
+            self._data_state = None
         return entry.ppage | (vaddr & 0xFFF)
 
     def _translate_fetch(self, vaddr):
@@ -165,12 +209,56 @@ class FunctionalCore(Simulator):
         """Hook for engines that do not implement certain devices."""
         return True
 
+    def _note_data_page(self, vaddr, paddr, region):
+        """Arm the last-data-page fast path for ``vaddr``'s page.
+
+        Only pages fully inside their RAM region (plus an unaligned
+        spill word) qualify, so the fast path can never read past the
+        buffer; with the MMU on the live TLB entry is captured so the
+        fast path replicates the baseline hit exactly (counters,
+        permission check, physical address).
+        """
+        sctlr_bit = self._cp15.sctlr & 1
+        entry = None
+        if sctlr_bit:
+            if not self._data_fast_ok:
+                return
+            entry = self._dtlb.peek(vaddr)
+            if entry is None:
+                return
+        page_base = paddr & ~0xFFF
+        if not region.contains(page_base, (1 << PAGE_SHIFT) + 4):
+            return
+        self._data_state = (
+            vaddr >> PAGE_SHIFT,
+            sctlr_bit,
+            entry,
+            region.data,
+            page_base - region.base,
+            paddr >> PAGE_SHIFT,
+        )
+
     def _mem_read(self, vaddr, size, kernel):
+        state = self._data_state
+        if (
+            state is not None
+            and state[0] == vaddr >> PAGE_SHIFT
+            and state[1] == (self._cp15.sctlr & 1)
+        ):
+            entry = state[2]
+            if entry is not None:
+                self.counters.tlb_hits += 1
+                self._dtlb.hits += 1
+                if not entry.allows(AccessType.READ, kernel):
+                    raise Fault(FaultType.PERMISSION, vaddr, AccessType.READ)
+            off = state[4] + (vaddr & 0xFFF)
+            return int.from_bytes(state[3][off : off + size], "little")
         paddr = self._translate_data(vaddr, AccessType.READ, kernel)
         memory = self._memory
         region = memory.find_ram(paddr, size)
         if region is not None:
             off = paddr - region.base
+            self._note_data_page(vaddr, paddr, region)
             return int.from_bytes(region.data[off : off + size], "little")
         hit = memory.find_device(paddr)
         if hit is None:
@@ -182,6 +270,28 @@ class FunctionalCore(Simulator):
         return device.read(paddr - base, size) & ((1 << (8 * size)) - 1)
 
     def _mem_write(self, vaddr, value, size, kernel):
+        state = self._data_state
+        if (
+            state is not None
+            and state[0] == vaddr >> PAGE_SHIFT
+            and state[1] == (self._cp15.sctlr & 1)
+        ):
+            entry = state[2]
+            if entry is not None:
+                self.counters.tlb_hits += 1
+                self._dtlb.hits += 1
+                if not entry.allows(AccessType.WRITE, kernel):
+                    raise Fault(FaultType.PERMISSION, vaddr, AccessType.WRITE)
+            off = state[4] + (vaddr & 0xFFF)
+            state[3][off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+                size, "little"
+            )
+            ppage = state[5]
+            if ppage in self._exec_pages:
+                self.counters.code_writes += 1
+            if ppage in self._code_pages:
+                self._invalidate_code_page(ppage)
+            return
         paddr = self._translate_data(vaddr, AccessType.WRITE, kernel)
         memory = self._memory
         region = memory.find_ram(paddr, size)
@@ -190,6 +300,7 @@ class FunctionalCore(Simulator):
             region.data[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
                 size, "little"
             )
+            self._note_data_page(vaddr, paddr, region)
             ppage = paddr >> PAGE_SHIFT
             if ppage in self._exec_pages:
                 self.counters.code_writes += 1
@@ -210,6 +321,8 @@ class FunctionalCore(Simulator):
         self.counters.smc_invalidations += 1
         self._decode_pages.pop(ppage, None)
         self._code_pages.discard(ppage)
+        self._block_pages.pop(ppage, None)
+        self._block_epoch += 1
 
     # ------------------------------------------------------------------
     # Fetch and decode
@@ -632,7 +745,18 @@ class FunctionalCore(Simulator):
     def _pre_execute(self, insn, pc):
         """Hook for subclasses that model extra per-instruction work."""
 
+    def _pre_execute_hooked(self):
+        """True when per-instruction tooling (a tracer/debugger instance
+        attribute) or a subclass override needs to see every retired
+        instruction, which rules out block replay."""
+        return (
+            "_pre_execute" in self.__dict__
+            or type(self)._pre_execute is not FunctionalCore._pre_execute
+        )
+
     def run(self, max_insns=None):
+        if self._use_block_cache and not self._pre_execute_hooked():
+            return self._run_blocks(max_insns)
         cpu = self.cpu
         counters = self.counters
         intc = self._intc
@@ -676,6 +800,182 @@ class FunctionalCore(Simulator):
             except GuestUndef:
                 counters.undefs += 1
                 self._deliver(ExceptionVector.UNDEF, pc + 4)
+        return RunResult(ExitReason.HALT, cpu.halt_code, counters.instructions - start)
+
+    # ------------------------------------------------------------------
+    # Predecoded-block run loop (host fast path)
+    # ------------------------------------------------------------------
+    # The block runner must be *observationally identical* to the
+    # baseline loop above: every counter bump, fault delivery and
+    # interrupt sample happens at the same guest-instruction boundary.
+    # It merely replaces fetch/decode/dict-dispatch per instruction
+    # with one fetch-state check per straight-line run plus a direct
+    # ``(handler, insn)`` replay.
+    def _step(self, pc):
+        """One baseline-loop iteration body (fetch/decode/dispatch).
+
+        Used by the block runner whenever the last-fetch-page state is
+        cold, so slow-path fetches (translation, aborts, pages too close
+        to a region edge to arm) take exactly the baseline route.
+        """
+        counters = self.counters
+        try:
+            insn = self._fetch(pc)
+        except Fault as fault:
+            counters.prefetch_aborts += 1
+            self._cp15.record_fault(fault)
+            self._deliver(ExceptionVector.PREFETCH_ABORT, pc)
+            return
+        except DecodeError:
+            counters.instructions += 1
+            counters.undefs += 1
+            self._deliver(ExceptionVector.UNDEF, pc + 4)
+            return
+        counters.instructions += 1
+        try:
+            self._dispatch[insn.op](insn, pc)
+        except Fault as fault:
+            counters.data_aborts += 1
+            self._cp15.record_fault(fault)
+            self._deliver(ExceptionVector.DATA_ABORT, pc)
+        except GuestUndef:
+            counters.undefs += 1
+            self._deliver(ExceptionVector.UNDEF, pc + 4)
+
+    def _record_block(self, pc, paddr, state, limit):
+        """Execute-and-record a straight-line run starting at ``pc``.
+
+        Execution accounting is the baseline's (``_decode_at`` hit/miss
+        bookkeeping, one ``instructions`` bump per retired insn, the
+        same delivery points) so the *first* pass over any code is
+        bit-identical to the plain loop; the ``(handler, insn)`` list is
+        stored for replay only if nothing invalidated code mid-run.
+        """
+        cpu = self.cpu
+        counters = self.counters
+        intc = self._intc
+        dispatch = self._dispatch
+        data = state[3]
+        page_off = state[4]
+        start_ppage = state[5]
+        start_paddr = paddr
+        epoch = self._block_epoch
+        entries = []
+        while True:
+            off = page_off + (paddr & 0xFFF)
+            word = int.from_bytes(data[off : off + 4], "little")
+            try:
+                insn = self._decode_at(paddr, word)
+            except DecodeError:
+                counters.instructions += 1
+                counters.undefs += 1
+                self._deliver(ExceptionVector.UNDEF, pc + 4)
+                break
+            counters.instructions += 1
+            handler = dispatch[insn.op]
+            try:
+                handler(insn, pc)
+            except Fault as fault:
+                counters.data_aborts += 1
+                self._cp15.record_fault(fault)
+                self._deliver(ExceptionVector.DATA_ABORT, pc)
+                break
+            except GuestUndef:
+                counters.undefs += 1
+                self._deliver(ExceptionVector.UNDEF, pc + 4)
+                break
+            entries.append((handler, insn))
+            if insn.op in _BLOCK_TERMINALS:
+                break
+            if self._block_epoch != epoch:
+                break
+            if counters.instructions >= limit:
+                break
+            if intc.pending & intc.enable and cpu.psr & PSR_IRQ_ENABLE:
+                break
+            paddr += 4
+            if paddr >> PAGE_SHIFT != start_ppage:
+                # Straight-line run crossed the page (the +4 fetch
+                # margin covers an unaligned final word); the prefix is
+                # still a valid replayable run.
+                break
+            pc = cpu.pc
+        if entries and self._block_epoch == epoch:
+            page = self._block_pages.get(start_ppage)
+            if page is None:
+                page = self._block_pages[start_ppage] = {}
+            page[start_paddr] = entries
+
+    def _run_blocks(self, max_insns=None):
+        """Baseline-equivalent run loop over predecoded blocks."""
+        cpu = self.cpu
+        counters = self.counters
+        intc = self._intc
+        cp15 = self._cp15
+        block_pages = self._block_pages
+        start = counters.instructions
+        limit = start + max_insns if max_insns is not None else float("inf")
+        while not cpu.halted:
+            if counters.instructions >= limit:
+                return RunResult(ExitReason.LIMIT, None, counters.instructions - start)
+            # Interrupts are sampled at instruction boundaries.
+            if intc.pending & intc.enable:
+                if cpu.waiting or cpu.psr & PSR_IRQ_ENABLE:
+                    cpu.waiting = False
+                    if cpu.psr & PSR_IRQ_ENABLE:
+                        counters.irqs += 1
+                        self._deliver(ExceptionVector.IRQ, cpu.pc)
+            elif cpu.waiting:
+                return RunResult(ExitReason.DEADLOCK, None, counters.instructions - start)
+            pc = cpu.pc
+            state = self._fetch_state
+            if (
+                state is None
+                or state[0] != pc >> PAGE_SHIFT
+                or state[1] != (cpu.psr & PSR_MODE_KERNEL)
+                or state[2] != (cp15.sctlr & 1)
+            ):
+                # Cold fetch page: one baseline step re-arms the state
+                # (or delivers the abort the baseline loop would).
+                self._step(pc)
+                continue
+            ppage = state[5]
+            paddr = (ppage << PAGE_SHIFT) | (pc & 0xFFF)
+            page_blocks = block_pages.get(ppage)
+            block = None if page_blocks is None else page_blocks.get(paddr)
+            if block is None:
+                self._record_block(pc, paddr, state, limit)
+                continue
+            # Replay.  Every entry retires as a decode-cache hit -- the
+            # record pass populated the decode page, and any write that
+            # could stale it bumps the epoch, checked between entries.
+            epoch = self._block_epoch
+            i = 0
+            n = len(block)
+            while True:
+                handler, insn = block[i]
+                counters.decode_hits += 1
+                counters.instructions += 1
+                try:
+                    handler(insn, pc)
+                except Fault as fault:
+                    counters.data_aborts += 1
+                    cp15.record_fault(fault)
+                    self._deliver(ExceptionVector.DATA_ABORT, pc)
+                    break
+                except GuestUndef:
+                    counters.undefs += 1
+                    self._deliver(ExceptionVector.UNDEF, pc + 4)
+                    break
+                i += 1
+                if (
+                    i == n
+                    or self._block_epoch != epoch
+                    or counters.instructions >= limit
+                    or (intc.pending & intc.enable and cpu.psr & PSR_IRQ_ENABLE)
+                ):
+                    break
+                pc = cpu.pc
         return RunResult(ExitReason.HALT, cpu.halt_code, counters.instructions - start)
 
     def feature_summary(self):

@@ -24,6 +24,7 @@ class FastInterpreter(FunctionalCore):
         arch=None,
         tlb_capacity=64,
         use_decode_cache=True,
+        use_block_cache=True,
         asid_tagged=False,
     ):
         dtlb = (
@@ -37,6 +38,7 @@ class FastInterpreter(FunctionalCore):
             dtlb=dtlb,
             itlb=SoftTLB(capacity=32),
             use_decode_cache=use_decode_cache,
+            use_block_cache=use_block_cache,
             asid_tagged=asid_tagged,
         )
         self.cost_model = interp_cost_model()

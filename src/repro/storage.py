@@ -1,0 +1,130 @@
+"""Shared on-disk storage machinery.
+
+:class:`DirectoryStore` is the content-addressed two-level directory
+store underlying both persistent caches -- execution records
+(:mod:`repro.core.resultcache`) and compiled DBT blocks
+(:mod:`repro.sim.dbt.codestore`).  It lives here, dependency-free, so
+either side can import it without dragging in the other's package.
+"""
+
+import os
+import tempfile
+
+
+class DirectoryStore:
+    """Content-addressed two-level directory store with quarantine.
+
+    Entries fan out as ``root/<key[:2]>/<key><suffix>``, writes go
+    through a temp file + atomic rename so concurrent runs never
+    observe torn entries, and entries that exist but fail to decode
+    are *quarantined* (unlinked, counted) rather than left to make
+    every future run re-pay a doomed open+parse.
+
+    Subclasses define :attr:`suffix`, :attr:`decode_errors` and the
+    :meth:`_read_entry`/:meth:`_write_entry` codecs.
+    """
+
+    suffix = ".json"
+    #: Exception types that mark an on-disk entry as corrupt (beyond
+    #: ``OSError``, which is a plain miss -- e.g. entry absent).
+    decode_errors = (ValueError, KeyError, TypeError)
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.quarantined = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + self.suffix)
+
+    def _read_entry(self, path):
+        """Decode one entry file; raise ``decode_errors`` on corruption."""
+        raise NotImplementedError
+
+    def _write_entry(self, fd, value):
+        """Encode ``value`` to the open (binary-capable) descriptor."""
+        raise NotImplementedError
+
+    def get(self, key):
+        """The stored value, or ``None`` on a miss or quarantine."""
+        path = self._path(key)
+        try:
+            value = self._read_entry(path)
+        except OSError:
+            self.misses += 1
+            return None
+        except self.decode_errors:
+            self.misses += 1
+            self.quarantined += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key, value):
+        """Store a value atomically (write to a temp file, then rename)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            self._write_entry(fd, value)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def _entry_paths(self):
+        if not os.path.isdir(self.root):
+            return
+        for prefix in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, prefix)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(self.suffix):
+                    yield os.path.join(subdir, name)
+
+    def stats(self):
+        """Summary of the on-disk store plus this session's counters."""
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }
+
+    def clear(self):
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.root)
