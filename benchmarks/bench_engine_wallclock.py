@@ -19,10 +19,12 @@ Three guest kernels stress the three hot paths:
 Besides the per-engine matrix, two tracked speedups gate the fast-path
 work: the fast interpreter with predecoded blocks vs the same engine
 with them disabled (floor: 2x on ``hot-loop``), and a warm vs cold DBT
-sweep through the persistent code cache (floor: 3x).  The standalone
-entry point emits ``BENCH_engines.json`` at the repo root (same shape
-as ``BENCH_runner.json``); both runs assert counters are bit-identical
-across the toggles.
+sweep through the persistent code cache (floor: 3x).  A third tracked
+split runs ``hot-loop`` with the observability layer disabled vs
+enabled (ceiling: 5% overhead enabled, guest counters bit-identical).
+The standalone entry point emits ``BENCH_engines.json`` at the repo
+root (same shape as ``BENCH_runner.json``); all runs assert counters
+are bit-identical across the toggles.
 
 Runnable standalone::
 
@@ -42,6 +44,7 @@ from repro.core import Harness, get_benchmark
 from repro.isa.assembler import assemble
 from repro.machine import Board
 from repro.platform import VEXPRESS
+from repro.obs.metrics import METRICS
 from repro.sim import DBTSimulator, DetailedInterpreter, FastInterpreter
 from repro.sim.dbt import codestore
 from repro.sim.dbt.translator import TRANSLATION_MEMO
@@ -239,6 +242,48 @@ def run_dbt_code_cache_sweep(scale=1):
     }
 
 
+def run_metrics_overhead_split(scale=1, rounds=5):
+    """Hot interpreter kernel with the observability layer disabled vs
+    enabled: one warm-up pass, then ``rounds`` interleaved rounds (the
+    two modes alternate within each round, min taken per mode, so a
+    host-load drift hits both modes equally).
+
+    The per-instruction dispatch loop carries no instrumentation at
+    all -- only decode misses and TLB walks check ``METRICS.enabled``
+    -- so even the *enabled* overhead must stay small on this kernel,
+    and the disabled overhead (what every normal run pays) is bounded
+    above by it.  Guest counters must be bit-identical either way.
+    """
+    program = assemble(kernels(scale)["hot-loop"])
+    _run_engine(FastInterpreter, program)  # warm-up, not timed
+    timings = {"disabled": [], "enabled": []}
+    snapshots = {}
+    try:
+        for _ in range(rounds):
+            for mode, enabled in (("disabled", False), ("enabled", True)):
+                METRICS.reset()
+                METRICS.enable(enabled)
+                engine, seconds = _run_engine(FastInterpreter, program)
+                METRICS.enable(False)
+                timings[mode].append(seconds)
+                snapshots[mode] = engine.counters.snapshot()
+    finally:
+        METRICS.enable(False)
+        METRICS.reset()
+    assert (
+        snapshots["disabled"] == snapshots["enabled"]
+    ), "metrics layer changed guest-visible counters"
+    disabled = min(timings["disabled"])
+    enabled = min(timings["enabled"])
+    return {
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_pct": (enabled - disabled) / disabled * 100.0,
+        "instructions": snapshots["enabled"]["instructions"],
+        "identical_counters": True,
+    }
+
+
 def run_all(scale=1):
     return {
         "scale": scale,
@@ -246,6 +291,7 @@ def run_all(scale=1):
         "engines": run_engine_matrix(scale),
         "interp_block_cache": run_interp_block_split(scale),
         "dbt_code_cache": run_dbt_code_cache_sweep(scale),
+        "metrics_overhead": run_metrics_overhead_split(scale),
     }
 
 
@@ -289,6 +335,7 @@ def test_engines_tracked_trajectory(benchmark):
     print(text)
     assert payload["interp_block_cache"]["speedup"] >= 2.0
     assert payload["dbt_code_cache"]["speedup"] >= 3.0
+    assert payload["metrics_overhead"]["identical_counters"]
 
 
 # ------------------------------------------------------------ standalone
@@ -325,6 +372,12 @@ def main(argv=None):
         failures.append(
             "DBT code-cache warm speedup %.2fx is below the 3x floor"
             % payload["dbt_code_cache"]["speedup"]
+        )
+    if payload["metrics_overhead"]["overhead_pct"] > 5.0:
+        failures.append(
+            "metrics-enabled overhead %.2f%% on the hot interpreter kernel "
+            "exceeds the 5%% ceiling"
+            % payload["metrics_overhead"]["overhead_pct"]
         )
     if failures:
         raise SystemExit("; ".join(failures))

@@ -20,6 +20,9 @@ Commands
     Sweep one benchmark across the QEMU version timeline.
 ``cache stats|clear``
     Inspect or empty an experiment result cache directory.
+``metrics``
+    Run an observability sweep (suite x engines x arches) and print the
+    per-benchmark x per-engine breakdown plus phase timings.
 ``detect SIMULATOR``
     Fingerprint an engine with the sandbox-detection probes.
 ``report``
@@ -40,16 +43,19 @@ from repro.core import (
     FAILURE_STATUSES,
     ExperimentRunner,
     Harness,
+    JobSpec,
     ResultCache,
     SUITE,
     TimingPolicy,
     get_benchmark,
 )
+from repro.obs.export import breakdown, render_breakdown, render_phases, write_jsonl
+from repro.obs.metrics import METRICS
 from repro.platform import PLATFORMS, get_platform
 from repro.sim import SIMULATOR_CLASSES
 from repro.sim.dbt.codestore import CodeStore
 from repro.sim.dbt.versions import QEMU_VERSIONS
-from repro.sim.spec import SPEC_CLASSES, spec_for
+from repro.sim.spec import SPEC_CLASSES, engines_for_arch, spec_for
 from repro.workloads import SPEC_PROXIES
 
 
@@ -172,6 +178,35 @@ def _add_runner_options(parser):
         "completes; without this flag failures exit %d after the "
         "failure summary)" % EXIT_GRID_FAILURES,
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable metrics collection and write a JSONL observability "
+        "export (per-job rows + merged counters/phases, workers "
+        "included) to PATH",
+    )
+
+
+def _metrics_begin(args):
+    """Arm the metrics registry when this invocation exports metrics."""
+    if getattr(args, "metrics_out", None):
+        METRICS.reset()
+        METRICS.enable()
+
+
+def _metrics_finish(args, runner=None, jobs=None, meta=None):
+    """Write the ``--metrics-out`` JSONL export, if requested."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    rows = jobs if jobs is not None else (runner.jobs_log if runner else [])
+    header = {"command": args.command}
+    if meta:
+        header.update(meta)
+    count = write_jsonl(path, meta=header, jobs=rows, snapshot=METRICS.snapshot())
+    print("metrics: wrote %d lines to %s" % (count, path), file=sys.stderr)
+    METRICS.disable()
 
 
 def _environment(args):
@@ -335,22 +370,47 @@ def _cmd_engines(args):
 
 
 def _cmd_run(args):
+    import time as _time
+
+    _metrics_begin(args)
     harness, arch, platform = _environment(args)
     benchmark = get_benchmark(args.benchmark)
     spec = _engine_spec(args)
+    start = _time.perf_counter_ns()
     result = harness.run_benchmark(
         benchmark, spec, arch, platform, iterations=args.iterations
     )
+    wall_ns = _time.perf_counter_ns() - start
     _print_result(result)
+    _metrics_finish(
+        args,
+        jobs=[
+            {
+                "benchmark": result.benchmark,
+                "engine": result.simulator,
+                "arch": result.arch,
+                "platform": platform.name,
+                "iterations": result.iterations,
+                "status": result.status,
+                "source": "executed",
+                "wall_ns": wall_ns,
+                "queue_wait_ns": 0,
+                "attempts": 1,
+                "where": "inline",
+            }
+        ],
+    )
     return 0 if result.status in ("ok", "not-applicable", "unsupported") else 1
 
 
 def _cmd_suite(args):
+    _metrics_begin(args)
     harness, arch, platform = _environment(args)
     runner = _runner_for(args, harness)
     spec = _engine_spec(args)
     suite_result = runner.run_suite(spec, arch, platform, scale=args.scale)
     _report_runner(args, runner)
+    _metrics_finish(args, runner)
     print("SimBench on %s (%s guest, %s platform, %s time):"
           % (spec.engine, arch.name, platform.name, args.timing))
     for result in suite_result:
@@ -374,6 +434,7 @@ def _cmd_workloads(args):
 def _cmd_figure(args):
     n = args.number
     scale = args.scale
+    _metrics_begin(args)
     runner = _runner_for(args)
     # Sweep-based figures run non-strict: a failed cell becomes a NaN
     # entry plus a failure-summary row, never a lost figure.
@@ -406,10 +467,12 @@ def _cmd_figure(args):
         print("unknown figure %d (supported: 1-8)" % n, file=sys.stderr)
         return 2
     _report_runner(args, runner)
+    _metrics_finish(args, runner, meta={"figure": n})
     return _failure_summary(args, runner)
 
 
 def _cmd_sweep(args):
+    _metrics_begin(args)
     harness, arch, platform = _environment(args)
     runner = _runner_for(args, harness)
     sweep = VersionSweep(arch, platform, runner=runner)
@@ -425,7 +488,24 @@ def _cmd_sweep(args):
         else:
             print("  %-12s %.6f s   %.3fx" % (version, seconds, speedup))
     _report_runner(args, runner)
+    _metrics_finish(args, runner, meta={"benchmark": args.benchmark})
     return _failure_summary(args, runner)
+
+
+def _print_store_totals(stats):
+    # Session counters of a freshly opened store are always zero; the
+    # meaningful numbers are the persisted totals, folded in by every
+    # run that used the store -- parent and pool workers alike.
+    totals = stats["totals"]
+    print(
+        "  totals:  %d hits, %d misses, %d stores, %d quarantined"
+        % (
+            totals["hits"],
+            totals["misses"],
+            totals["stores"],
+            totals["quarantined"],
+        )
+    )
 
 
 def _cmd_cache(args):
@@ -436,6 +516,7 @@ def _cmd_cache(args):
         print("  entries: %d" % stats["entries"])
         print("  bytes:   %d" % stats["bytes"])
         print("  schema:  %s" % stats["schema"])
+        _print_store_totals(stats)
     else:
         removed = cache.clear()
         print("removed %d cache entries from %s" % (removed, args.cache_dir))
@@ -444,16 +525,88 @@ def _cmd_cache(args):
         if args.action == "stats":
             stats = store.stats()
             print("code cache %s" % stats["root"])
-            print("  entries:     %d" % stats["entries"])
-            print("  bytes:       %d" % stats["bytes"])
-            print("  hits:        %d" % stats["hits"])
-            print("  misses:      %d" % stats["misses"])
-            print("  quarantined: %d" % stats["quarantined"])
+            print("  entries: %d" % stats["entries"])
+            print("  bytes:   %d" % stats["bytes"])
+            _print_store_totals(stats)
         else:
             removed = store.clear()
             print("removed %d code-cache entries from %s"
                   % (removed, args.code_cache_dir))
     return 0
+
+
+def _cmd_metrics(args):
+    """Observability sweep: the suite across every evaluated engine on
+    the requested arch profiles, with metrics on, rendered as a
+    per-benchmark x per-engine breakdown plus phase timers."""
+    arch_names = [name.strip() for name in args.arches.split(",") if name.strip()]
+    for name in arch_names:
+        if name not in ARCHES:
+            raise _CliError("unknown arch %r (choices: %s)" % (name, ", ".join(sorted(ARCHES))))
+    sims = None
+    if args.sims:
+        sims = [name.strip() for name in args.sims.split(",") if name.strip()]
+        for name in sims:
+            if name not in SIMULATOR_CLASSES:
+                raise _CliError("unknown simulator %r" % name)
+
+    METRICS.reset()
+    METRICS.enable()
+    runner = _runner_for(args)
+    specs = []
+    for arch_name in arch_names:
+        arch = get_arch(arch_name)
+        platform = get_platform(_default_platform(arch_name))
+        engines = sims if sims is not None else list(engines_for_arch(arch))
+        for engine in engines:
+            spec = spec_for(engine)
+            for bench in SUITE:
+                specs.append(
+                    JobSpec(
+                        bench,
+                        spec,
+                        arch,
+                        platform,
+                        iterations=max(
+                            1, int(bench.default_iterations * args.scale)
+                        ),
+                    )
+                )
+    runner.run(specs)
+    _report_runner(args, runner)
+
+    print("Per-benchmark x per-engine breakdown:")
+    print(render_breakdown(breakdown(runner.jobs_log)))
+    snapshot = METRICS.snapshot()
+    if snapshot["phases"]:
+        print()
+        print("Phase timers (merged across workers):")
+        print(render_phases(snapshot))
+    if snapshot["counters"]:
+        print()
+        print("Counters:")
+        for name, value in snapshot["counters"].items():
+            print("  %-28s %d" % (name, value))
+
+    # --metrics-out (from the shared runner options) is honoured as an
+    # alias for --out, so every runner-backed command spells it the same.
+    out = args.out or getattr(args, "metrics_out", None)
+    if out:
+        count = write_jsonl(
+            out,
+            meta={
+                "command": "metrics",
+                "arches": arch_names,
+                "engines": sims,
+                "scale": args.scale,
+                "jobs": getattr(args, "jobs", 1) or 1,
+            },
+            jobs=runner.jobs_log,
+            snapshot=snapshot,
+        )
+        print("wrote %d lines to %s" % (count, out), file=sys.stderr)
+    METRICS.disable()
+    return _failure_summary(args, runner)
 
 
 def _cmd_compare(args):
@@ -528,6 +681,13 @@ def build_parser():
     p_run = sub.add_parser("run", help="run one benchmark")
     p_run.add_argument("benchmark")
     p_run.add_argument("--iterations", type=int, default=None)
+    p_run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable metrics collection and write a JSONL observability "
+        "export to PATH",
+    )
     _add_env_options(p_run)
 
     p_suite = sub.add_parser("suite", help="run the full suite")
@@ -558,6 +718,30 @@ def build_parser():
         help="also report/clear the persistent DBT code cache at this path",
     )
 
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="observability sweep: per-benchmark x per-engine breakdown",
+    )
+    p_metrics.add_argument(
+        "--arches",
+        default="arm,x86",
+        help="comma-separated arch profiles to sweep (default: arm,x86)",
+    )
+    p_metrics.add_argument(
+        "--sims",
+        default=None,
+        help="comma-separated engines (default: every engine evaluated "
+        "on each arch)",
+    )
+    p_metrics.add_argument("--scale", type=float, default=0.25)
+    p_metrics.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSONL observability export to PATH",
+    )
+    _add_runner_options(p_metrics)
+
     p_detect = sub.add_parser("detect", help="sandbox-detect an engine")
     p_detect.add_argument("simulator", choices=sorted(SIMULATOR_CLASSES))
     p_detect.add_argument("--arch", default="arm", choices=sorted(ARCHES))
@@ -583,6 +767,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "metrics": _cmd_metrics,
     "detect": _cmd_detect,
     "report": _cmd_report,
     "compare": _cmd_compare,

@@ -31,6 +31,7 @@ from repro.core.benchmark import BenchmarkResult
 from repro.core.program import PHASE_KERNEL_DONE, PHASE_SETUP_DONE
 from repro.core.suite import SUITE
 from repro.machine import Board
+from repro.obs.metrics import METRICS
 from repro.sim.base import Counters, ExitReason
 from repro.sim.spec import as_engine_spec
 
@@ -225,16 +226,18 @@ class Harness:
             return ExecutionRecord(status="unsupported")
 
         try:
-            built = self.build_program(benchmark, arch, platform)
-            board = Board(platform)
-            board.load(built.program)
-            board.set_iterations(iterations)
-            sim = spec.build(board, arch)
+            with METRICS.phase("harness.setup"):
+                built = self.build_program(benchmark, arch, platform)
+                board = Board(platform)
+                board.load(built.program)
+                board.set_iterations(iterations)
+                sim = spec.build(board, arch)
 
-            recorder = _PhaseRecorder(sim)
-            board.testctl.on_phase = recorder
+                recorder = _PhaseRecorder(sim)
+                board.testctl.on_phase = recorder
 
-            run = sim.run(max_insns=self.max_insns)
+            with METRICS.phase("harness.run"):
+                run = sim.run(max_insns=self.max_insns)
         except UnsupportedFeatureError as exc:
             return ExecutionRecord(status="unsupported", error=exc)
         except Exception as exc:
@@ -296,6 +299,12 @@ class Harness:
         spec = as_engine_spec(simulator, dbt_config, sim_kwargs)
         if iterations is None:
             iterations = benchmark.default_iterations
+        with METRICS.phase("harness.price"):
+            return self._price_record(
+                record, benchmark, spec, arch, platform, iterations
+            )
+
+    def _price_record(self, record, benchmark, spec, arch, platform, iterations):
         result = BenchmarkResult(benchmark.name, spec.engine, arch.name, platform.name)
         result.iterations = iterations
         result.paper_iterations = benchmark.paper_iterations

@@ -78,6 +78,8 @@ def job_fingerprint(benchmark, simulator, arch, platform, iterations, structure)
 class ResultCache(DirectoryStore):
     """On-disk store of execution records, keyed by job fingerprint."""
 
+    metrics_name = "resultcache"
+
     def _read_entry(self, path):
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)

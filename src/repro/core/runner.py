@@ -32,12 +32,23 @@ Engine configuration is described exclusively by
 canonically JSON-serializable (:meth:`JobSpec.to_payload`), which is
 what makes pool transport -- and future sharded/remote execution --
 possible without pickling live engine state.
+
+Observability: every executed job is timed (``wall_ns``, and for pool
+jobs ``queue_wait_ns``); workers snapshot their process-local metrics
+registry per job and ship it back with the record, and the parent
+merges those snapshots in submission order -- so the merged registry
+(and the per-job rows in :attr:`ExperimentRunner.last_jobs`) is
+deterministic up to the timings themselves.  Persistent-store session
+deltas (result cache, DBT code store) are folded into each store's
+on-disk totals at the end of every run, covering parent *and* worker
+activity (``repro cache stats`` reports them).
 """
 
 import os
 import signal
 import threading
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -52,6 +63,7 @@ from repro.core.harness import (
 from repro.core.resultcache import job_fingerprint
 from repro.core.suite import SUITE, get_benchmark
 from repro.errors import DeadlineExceeded, EngineCrashError
+from repro.obs.metrics import METRICS
 from repro.sim.dbt import codestore
 from repro.sim.spec import EngineSpec, as_engine_spec
 
@@ -210,32 +222,67 @@ class _DeadlineExpired(BaseException):
     """
 
 
+#: One-time latch for the cannot-enforce-deadline warning; the metrics
+#: counter (``runner.deadline_unenforced``) still counts every skip.
+_DEADLINE_WARNED = False
+
+
+def _deadline_unenforceable(reason):
+    global _DEADLINE_WARNED
+    METRICS.inc("runner.deadline_unenforced")
+    if not _DEADLINE_WARNED:
+        _DEADLINE_WARNED = True
+        warnings.warn(
+            "per-job deadline cannot be enforced (%s); jobs run unbounded "
+            "(counted in metrics as runner.deadline_unenforced)" % reason,
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def _call_with_deadline(func, deadline):
     """Run ``func()`` under a wall-clock watchdog of ``deadline`` seconds.
 
     Uses ``SIGALRM``/``setitimer``, so enforcement needs the calling
     thread to be the process's main thread (true for pool workers and
-    for the CLI); elsewhere -- or without SIGALRM support -- the call
-    runs unguarded.  Raises :class:`_DeadlineExpired` on expiry.
+    for the CLI).  Where the watchdog cannot be armed -- no
+    ``setitimer``, or off the main thread -- the call still runs, but
+    the skip is *surfaced*: a one-time ``RuntimeWarning`` plus an
+    unconditional ``runner.deadline_unenforced`` metrics count, never a
+    silent unbounded run.  Raises :class:`_DeadlineExpired` on expiry.
+
+    Any pre-existing ``ITIMER_REAL`` is restored on exit with its
+    remaining time (not merely the handler), so a nested use -- e.g. a
+    caller running the runner under its own alarm -- keeps its own
+    deadline ticking.
     """
-    if (
-        not deadline
-        or deadline <= 0
-        or not hasattr(signal, "setitimer")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not deadline or deadline <= 0:
+        return func()
+    if not hasattr(signal, "setitimer"):
+        _deadline_unenforceable("signal.setitimer is unavailable")
+        return func()
+    if threading.current_thread() is not threading.main_thread():
+        _deadline_unenforceable("not on the main thread")
         return func()
 
     def _on_alarm(signum, frame):
         raise _DeadlineExpired()
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, deadline)
+    prev_delay, prev_interval = signal.setitimer(signal.ITIMER_REAL, deadline)
+    started = time.monotonic()
     try:
         return func()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if prev_delay > 0.0:
+            # Re-arm the interrupted timer with whatever it had left
+            # (floored at one tick so an overdue alarm still fires).
+            remaining = prev_delay - (time.monotonic() - started)
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), prev_interval
+            )
 
 
 def _guarded_execute(harness, spec, deadline):
@@ -265,6 +312,16 @@ def _guarded_execute(harness, spec, deadline):
         )
 
 
+def _timed_execute(harness, spec, deadline):
+    """:func:`_guarded_execute` plus host wall time in nanoseconds."""
+    start = time.perf_counter_ns()
+    record = _guarded_execute(harness, spec, deadline)
+    wall_ns = time.perf_counter_ns() - start
+    if METRICS.enabled:
+        METRICS.add_phase_ns("runner.job_wall", wall_ns)
+    return record, wall_ns
+
+
 def _terminate_pool_processes(pool):
     """Hard-kill a ProcessPoolExecutor's workers (wedged-pool escape
     hatch); relies on the private process table, so failures to reach
@@ -283,10 +340,13 @@ _WORKER_HARNESS = None
 _WORKER_DEADLINE = None
 
 
-def _init_worker(timing, max_insns, deadline=None, code_cache_dir=None):
+def _init_worker(
+    timing, max_insns, deadline=None, code_cache_dir=None, metrics_enabled=False
+):
     global _WORKER_HARNESS, _WORKER_DEADLINE
     _WORKER_HARNESS = Harness(timing=timing, max_insns=max_insns)
     _WORKER_DEADLINE = deadline
+    METRICS.enable(metrics_enabled)
     if code_cache_dir is not None:
         # Workers are fresh processes: install the persistent DBT code
         # store so warm translations are shared across the whole pool.
@@ -300,8 +360,35 @@ def _execute_job(spec):
     never shipped across the process boundary.  The per-job deadline is
     enforced *inside* the worker (each worker runs one job at a time on
     its main thread), so a timeout never requires killing the pool.
+
+    Returns ``(record, aux)`` where ``aux`` carries everything the
+    parent's observability merge needs: the job's worker wall time, a
+    per-job snapshot of the worker's metrics registry (reset at job
+    start, so snapshots are disjoint deltas) and the job's DBT
+    code-store session delta (so store accounting survives the process
+    boundary -- the parent folds it into the store's on-disk totals).
     """
-    return _guarded_execute(_WORKER_HARNESS, spec, _WORKER_DEADLINE)
+    METRICS.reset()
+    store = codestore.active()
+    store_before = store.session_stats() if store is not None else None
+    record, wall_ns = _timed_execute(_WORKER_HARNESS, spec, _WORKER_DEADLINE)
+    aux = {"wall_ns": wall_ns, "metrics": METRICS.snapshot()}
+    if store is not None:
+        after = store.session_stats()
+        aux["codestore"] = {
+            key: after[key] - store_before[key] for key in after
+        }
+    return record, aux
+
+
+def _fresh_job_info():
+    """Per-job observability row skeleton (filled in as the job runs)."""
+    return {
+        "wall_ns": 0,
+        "queue_wait_ns": 0,
+        "attempts": 0,
+        "where": None,
+    }
 
 
 class ExperimentRunner:
@@ -331,6 +418,12 @@ class ExperimentRunner:
         (:mod:`repro.sim.dbt.codestore`).  Installed process-wide here
         and in every pool worker, so warm sweeps skip translation; a
         host-side cache only -- counters and results are unchanged.
+
+    Observability: after every :meth:`run`, :attr:`last_jobs` holds one
+    row per submitted spec (status, source, wall/queue-wait timings,
+    attempts) in submission order, and :attr:`jobs_log` accumulates
+    those rows across runs; worker metrics snapshots are merged into
+    the process-global registry in submission order.
     """
 
     def __init__(
@@ -354,10 +447,27 @@ class ExperimentRunner:
             codestore.configure(self.code_cache_dir)
         #: Counters for the last :meth:`run` call.
         self.last_stats = {}
-        #: Failing grid cells accumulated across every :meth:`run` call
-        #: on this runner (drivers like Figure 8 issue several runs).
+        #: Per-job observability rows for the last :meth:`run` call.
+        self.last_jobs = []
+        #: Job rows accumulated across every :meth:`run` call on this
+        #: runner (drivers like Figure 8 issue several runs).
+        self.jobs_log = []
+        #: Failing grid cells accumulated across every :meth:`run` call.
         self.failures = []
-        self._exec_stats = {"retried": 0, "worker_lost": 0}
+        self._exec_stats = self._fresh_exec_stats()
+        # Per-store baselines for incremental folds of parent-side
+        # session counters into on-disk totals (one fold per run).
+        self._fold_base = {}
+        # Worker code-store deltas shipped back during the current run.
+        self._worker_codestore = {}
+
+    @staticmethod
+    def _fresh_exec_stats():
+        """The single source of the execution-stats reset: ``__init__``
+        and every :meth:`run` start from this same shape, so
+        ``retried``/``worker_lost`` in :attr:`last_stats` count exactly
+        one run -- never a carry-over from a previous grid."""
+        return {"retried": 0, "worker_lost": 0}
 
     # ------------------------------------------------------------------
     def _cache_usable(self):
@@ -373,7 +483,8 @@ class ExperimentRunner:
         as a lost grid.
         """
         specs = [spec if isinstance(spec, JobSpec) else JobSpec(*spec) for spec in specs]
-        self._exec_stats = {"retried": 0, "worker_lost": 0}
+        self._exec_stats = self._fresh_exec_stats()
+        self._worker_codestore = {}
 
         # Group structurally-equal jobs in submission order.
         groups = {}
@@ -389,6 +500,8 @@ class ExperimentRunner:
         # resolved inline -- they run no guest code, so they are neither
         # cached nor counted as executions.
         records = {}
+        sources = {}
+        infos = {}
         pending = []
         static = 0
         cache = self.cache if self._cache_usable() else None
@@ -401,18 +514,24 @@ class ExperimentRunner:
                     spec.platform,
                     iterations=spec.iterations,
                 )
+                sources[key] = "static"
+                infos[key] = _fresh_job_info()
                 static += 1
                 continue
             record = cache.get(spec.fingerprint()) if cache is not None else None
             if record is not None:
                 records[key] = record
+                sources[key] = "cache"
+                infos[key] = _fresh_job_info()
             else:
                 pending.append((key, spec))
 
         # Execute the remainder -- serially, or over a fork pool.
-        executed = self._execute_pending([spec for _, spec in pending])
-        for (key, spec), record in zip(pending, executed):
+        executed, exec_infos = self._execute_pending([spec for _, spec in pending])
+        for (key, spec), record, info in zip(pending, executed, exec_infos):
             records[key] = record
+            sources[key] = "executed"
+            infos[key] = info
             if cache is not None and record.status in ("ok", "unsupported"):
                 cache.put(
                     spec.fingerprint(),
@@ -440,18 +559,53 @@ class ExperimentRunner:
             "worker_lost": self._exec_stats["worker_lost"],
         }
 
-        # Price every original spec against its shared record.
-        results = [
-            self.harness.price_record(
-                records[spec.execution_key()],
-                spec.benchmark,
-                spec.engine_spec,
-                spec.arch,
-                spec.platform,
-                iterations=spec.iterations,
+        # Per-job observability rows, in submission order.  The first
+        # spec of each execution group carries the group's source and
+        # timings; structurally-identical repeats are ``dedup`` rows.
+        seen = set()
+        rows = []
+        for spec in specs:
+            key = spec.execution_key()
+            if key in seen:
+                source, info = "dedup", _fresh_job_info()
+            else:
+                seen.add(key)
+                source, info = sources[key], infos[key]
+            rows.append(
+                {
+                    "benchmark": spec.benchmark.name,
+                    "engine": spec.engine_spec.engine,
+                    "arch": spec.arch.name,
+                    "platform": spec.platform.name,
+                    "iterations": spec.iterations,
+                    "status": records[key].status,
+                    "source": source,
+                    "wall_ns": info["wall_ns"],
+                    "queue_wait_ns": info["queue_wait_ns"],
+                    "attempts": info["attempts"],
+                    "where": info["where"],
+                }
             )
-            for spec in specs
-        ]
+        self.last_jobs = rows
+        self.jobs_log.extend(rows)
+
+        # Fold this run's store activity (parent-side session deltas
+        # plus worker-shipped code-store deltas) into on-disk totals.
+        self._fold_store_totals()
+
+        # Price every original spec against its shared record.
+        with METRICS.phase("harness.price_grid"):
+            results = [
+                self.harness.price_record(
+                    records[spec.execution_key()],
+                    spec.benchmark,
+                    spec.engine_spec,
+                    spec.arch,
+                    spec.platform,
+                    iterations=spec.iterations,
+                )
+                for spec in specs
+            ]
         # One entry per failing grid cell (submission order), for
         # failure summaries without re-walking the results.
         cell_failures = [
@@ -469,9 +623,63 @@ class ExperimentRunner:
         self.failures.extend(cell_failures)
         return results
 
+    def _fold_store_totals(self):
+        """Fold store session deltas into persistent totals, once per
+        run: the parent's result-cache and code-store counters (since
+        the previous fold on this runner) plus every code-store delta
+        the workers shipped back.  This is what makes ``repro cache
+        stats`` totals cover ``--jobs N`` runs instead of silently
+        under-reporting worker-side hits."""
+        for store in (self.cache, codestore.active()):
+            if store is None:
+                continue
+            current = store.session_stats()
+            base = self._fold_base.get(store, {})
+            delta = {
+                key: current[key] - base.get(key, 0) for key in current
+            }
+            self._fold_base[store] = current
+            try:
+                store.fold_totals(delta)
+            except OSError:
+                pass  # totals are best-effort accounting, never fatal
+        if self._worker_codestore:
+            store = codestore.active()
+            if store is None and self.code_cache_dir is not None:
+                store = codestore.CodeStore(self.code_cache_dir)
+            if store is not None:
+                try:
+                    store.fold_totals(self._worker_codestore)
+                except OSError:
+                    pass
+            self._worker_codestore = {}
+
+    def _merge_worker_aux(self, aux, info, parent_elapsed_ns):
+        """Fold one worker job's aux payload into parent-side state."""
+        if not aux:
+            return
+        wall_ns = int(aux.get("wall_ns", 0))
+        info["wall_ns"] += wall_ns
+        # Parent-observed latency minus worker compute: an upper bound
+        # on pool scheduling/transport delay (clamped -- the two stamps
+        # come from different clocks' origins, only spans are compared).
+        if parent_elapsed_ns is not None:
+            queue_wait = max(0, int(parent_elapsed_ns) - wall_ns)
+            info["queue_wait_ns"] += queue_wait
+            if METRICS.enabled:
+                METRICS.add_phase_ns("runner.queue_wait", queue_wait)
+        METRICS.merge(aux.get("metrics"))
+        delta = aux.get("codestore")
+        if delta:
+            for key, value in delta.items():
+                self._worker_codestore[key] = (
+                    self._worker_codestore.get(key, 0) + int(value)
+                )
+
     def _execute_pending(self, specs):
-        """Execute ``specs``, returning one record per spec in
-        submission order -- never raising for a job's failure.
+        """Execute ``specs``, returning ``(records, infos)`` -- one
+        record and one observability row per spec in submission order
+        -- never raising for a job's failure.
 
         Pipeline: (1) optional pool fan-out, collecting whatever the
         workers manage to produce; (2) in-parent serial execution for
@@ -479,29 +687,48 @@ class ExperimentRunner:
         rounds with backoff for transient failures.
         """
         if not specs:
-            return []
+            return [], []
         results = [None] * len(specs)
+        infos = [_fresh_job_info() for _ in specs]
         if self.jobs > 1 and len(specs) > 1:
-            self._pool_round(specs, results)
+            self._pool_round(specs, results, infos)
         # In-parent serial execution: the base path when jobs=1, the
         # fallback for anything a broken pool failed to deliver.
         lost = [index for index, record in enumerate(results) if record is None]
         if self.jobs > 1 and len(specs) > 1 and lost:
             self._exec_stats["worker_lost"] += len(lost)
+            METRICS.inc("runner.worker_lost", len(lost))
         for index in lost:
-            results[index] = _guarded_execute(self.harness, specs[index], self.deadline)
-        self._retry_transient(specs, results)
-        return results
+            record, wall_ns = _timed_execute(
+                self.harness, specs[index], self.deadline
+            )
+            results[index] = record
+            infos[index]["wall_ns"] += wall_ns
+            infos[index]["attempts"] += 1
+            infos[index]["where"] = "parent"
+        self._retry_transient(specs, results, infos)
+        return results, infos
 
-    def _pool_round(self, specs, results):
-        """One pool pass over ``specs``, filling ``results`` in place.
+    def _pool_round(self, specs, results, infos):
+        """One pool pass over ``specs``, filling ``results``/``infos``
+        in place.
 
         Jobs whose futures fail to deliver a record (worker death,
         ``BrokenProcessPool``, transport errors) are simply left as
         ``None`` for the caller's serial fallback; completed results
-        collected before a pool breakage are kept.
+        collected before a pool breakage are kept.  Worker aux payloads
+        (metrics snapshots, code-store deltas) are merged in submission
+        order, so the merged registry is order-deterministic.
         """
         workers = min(self.jobs, len(specs))
+
+        def _accept(index, payload, parent_elapsed_ns):
+            record, aux = payload
+            results[index] = record
+            infos[index]["attempts"] += 1
+            infos[index]["where"] = "pool"
+            self._merge_worker_aux(aux, infos[index], parent_elapsed_ns)
+
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
@@ -511,9 +738,23 @@ class ExperimentRunner:
                     self.harness.max_insns,
                     self.deadline,
                     self.code_cache_dir,
+                    METRICS.enabled,
                 ),
             ) as pool:
-                futures = [pool.submit(_execute_job, spec) for spec in specs]
+                done_stamp = [None] * len(specs)
+
+                def _stamper(index):
+                    def _on_done(_future):
+                        done_stamp[index] = time.perf_counter_ns()
+
+                    return _on_done
+
+                submit_ns = time.perf_counter_ns()
+                futures = []
+                for index, spec in enumerate(specs):
+                    future = pool.submit(_execute_job, spec)
+                    future.add_done_callback(_stamper(index))
+                    futures.append(future)
                 # Safety net over the worker-side watchdog: if a worker
                 # wedges in uninterruptible code, stop waiting for it
                 # (it is then handled -- and timed -- in-parent).
@@ -522,7 +763,7 @@ class ExperimentRunner:
                     hard_cap = max(self.deadline * 4.0, self.deadline + 30.0)
                 for index, future in enumerate(futures):
                     try:
-                        results[index] = future.result(timeout=hard_cap)
+                        payload = future.result(timeout=hard_cap)
                     except FutureTimeoutError:
                         # A worker wedged in uninterruptible code past
                         # the watchdog's hard cap.  Kill the pool (or
@@ -533,19 +774,42 @@ class ExperimentRunner:
                         for done_index, done in enumerate(futures):
                             if results[done_index] is None and done.done():
                                 try:
-                                    results[done_index] = done.result(timeout=0)
+                                    harvested = done.result(timeout=0)
                                 except Exception:
-                                    pass
+                                    continue
+                                stamp = done_stamp[done_index]
+                                self._accept_or_skip(
+                                    _accept,
+                                    done_index,
+                                    harvested,
+                                    stamp - submit_ns if stamp else None,
+                                )
                         break
                     except Exception:
                         # BrokenProcessPool, cancelled futures, or a
                         # record that failed to unpickle: the job is
                         # re-run in-parent either way.
-                        pass
+                        continue
+                    stamp = done_stamp[index]
+                    self._accept_or_skip(
+                        _accept,
+                        index,
+                        payload,
+                        stamp - submit_ns if stamp else None,
+                    )
         except (BrokenProcessPool, OSError):
             # Pool setup/teardown itself failed; everything undelivered
             # falls back to the serial path.
             pass
+
+    @staticmethod
+    def _accept_or_skip(accept, index, payload, parent_elapsed_ns):
+        """Accept one worker payload, tolerating legacy bare records
+        (anything that is not a ``(record, aux)`` pair)."""
+        if isinstance(payload, tuple) and len(payload) == 2:
+            accept(index, payload, parent_elapsed_ns)
+        elif payload is not None:
+            accept(index, (payload, None), parent_elapsed_ns)
 
     def _retriable(self, record):
         """Whether a failed record's cause is plausibly transient."""
@@ -560,7 +824,7 @@ class ExperimentRunner:
             return self.harness.timing is not TimingPolicy.MODELED
         return False
 
-    def _retry_transient(self, specs, results):
+    def _retry_transient(self, specs, results, infos):
         """Re-execute transiently-failed jobs, up to ``retries`` rounds
         with exponential backoff, in-parent (deterministic merge: a
         retried success is bit-for-bit what a clean run produces)."""
@@ -571,10 +835,15 @@ class ExperimentRunner:
             if self.retry_backoff:
                 time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
             self._exec_stats["retried"] += len(retry)
+            METRICS.inc("runner.retried", len(retry))
             for index in retry:
-                results[index] = _guarded_execute(
+                record, wall_ns = _timed_execute(
                     self.harness, specs[index], self.deadline
                 )
+                results[index] = record
+                infos[index]["wall_ns"] += wall_ns
+                infos[index]["attempts"] += 1
+                infos[index]["where"] = "parent"
 
     # ------------------------------------------------------------------
     def run_suite(

@@ -1,0 +1,31 @@
+"""Observability: the host-side metrics/tracing spine.
+
+``repro.obs.metrics`` holds the process-global registry every layer
+reports to; ``repro.obs.export`` turns snapshots and per-job rows into
+JSONL files and breakdown tables.  Nothing in here touches guest
+state -- see docs/internals.md "Observability".
+"""
+
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    Phase,
+    disable,
+    enable,
+    enabled_scope,
+)
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "Phase",
+    "disable",
+    "enable",
+    "enabled_scope",
+]

@@ -41,6 +41,7 @@ class CodeStore(DirectoryStore):
     """On-disk store of marshalled translated-block payloads."""
 
     suffix = ".blob"
+    metrics_name = "codestore"
     #: ``marshal.loads`` raises ValueError/EOFError on garbage or
     #: truncation, TypeError on unmarshallable junk; a payload of the
     #: wrong shape surfaces the same way from the unpack below.

@@ -1,6 +1,7 @@
 """The DBT engine proper: dispatcher, softmmu, exception side exits."""
 from repro.machine.cpu import ExceptionVector, PSR_FLAGS_MASK, PSR_IRQ_ENABLE, PSR_MODE_KERNEL
 from repro.machine.mmu import AccessType, Fault, FaultType
+from repro.obs.metrics import METRICS
 from repro.sim.base import ExitReason, RunResult, Simulator
 from repro.sim.costs import dbt_cost_model
 from repro.sim.dbt.blockcache import TranslatedBlock, TranslationCache
@@ -122,7 +123,12 @@ class DBTSimulator(Simulator):
     def _fill_tlb(self, vaddr, access, kernel):
         """Slow path: walk the page tables and fill the TLB slot."""
         self.counters.tlb_misses += 1
-        result = self._walker.walk(self._cp15.ttbr, vaddr, access, kernel)
+        # Host-side observability only (miss path, never per-access).
+        if METRICS.enabled:
+            with METRICS.phase("dbt.tlb_walk"):
+                result = self._walker.walk(self._cp15.ttbr, vaddr, access, kernel)
+        else:
+            result = self._walker.walk(self._cp15.ttbr, vaddr, access, kernel)
         self.counters.ptw_levels += result.levels
         entry = result.narrow(vaddr)
         key = (vaddr >> PAGE_SHIFT) | self._asid_tag
@@ -292,9 +298,18 @@ class DBTSimulator(Simulator):
         vpage = vaddr >> PAGE_SHIFT
         entry = self._ftlb.get(vpage)
         if entry is None:
-            result = self._walker.walk(
-                self._cp15.ttbr, vaddr, AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL
-            )
+            if METRICS.enabled:
+                with METRICS.phase("dbt.tlb_walk"):
+                    result = self._walker.walk(
+                        self._cp15.ttbr,
+                        vaddr,
+                        AccessType.EXECUTE,
+                        self.cpu.psr & PSR_MODE_KERNEL,
+                    )
+            else:
+                result = self._walker.walk(
+                    self._cp15.ttbr, vaddr, AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL
+                )
             entry = result.narrow(vaddr)
             ftlb = self._ftlb
             if len(ftlb) >= FTLB_CAPACITY:
@@ -326,7 +341,11 @@ class DBTSimulator(Simulator):
             return None
         block = self._tcache.get(vaddr, paddr)
         if block is None:
-            block = self._translator.translate(self._memory, vaddr, paddr)
+            if METRICS.enabled:
+                with METRICS.phase("dbt.translate"):
+                    block = self._translator.translate(self._memory, vaddr, paddr)
+            else:
+                block = self._translator.translate(self._memory, vaddr, paddr)
             self._tcache.insert(block)
             self._exec_pages.add(block.ppage)
             counters.translations += 1
@@ -341,6 +360,8 @@ class DBTSimulator(Simulator):
             else:
                 self._translated_sigs.add(sig)
         if pend is not None:
+            if METRICS.enabled:
+                METRICS.inc("dbt.chain_patches")
             pend[0].set_succ(pend[1], block)
         return block
 
@@ -381,6 +402,8 @@ class DBTSimulator(Simulator):
             except Fault as fault:
                 # The faulting instruction was accounted inline before
                 # its helper call, so no instruction adjustment here.
+                if METRICS.enabled:
+                    METRICS.inc("dbt.side_exits")
                 counters.data_aborts += 1
                 self._cp15.record_fault(fault)
                 cpu.enter_exception(
@@ -389,6 +412,8 @@ class DBTSimulator(Simulator):
                 block = None
                 continue
             except GuestUndef:
+                if METRICS.enabled:
+                    METRICS.inc("dbt.side_exits")
                 counters.undefs += 1
                 cpu.enter_exception(
                     self.fault_state[0] + 4, self._cp15.vbar, ExceptionVector.UNDEF

@@ -15,6 +15,7 @@ from repro.machine.coprocessor import UndefinedCoprocessorAccess
 from repro.machine.cpu import ExceptionVector, PSR_FLAGS_MASK, PSR_IRQ_ENABLE, PSR_MODE_KERNEL
 from repro.machine.mmu import AccessType, Fault, FaultType
 from repro.machine.tlb import SoftTLB
+from repro.obs.metrics import METRICS
 from repro.sim.base import ExitReason, RunResult, Simulator
 
 MASK32 = 0xFFFFFFFF
@@ -174,7 +175,13 @@ class FunctionalCore(Simulator):
                 raise Fault(FaultType.PERMISSION, vaddr, access)
             return entry.ppage | (vaddr & 0xFFF)
         counters.tlb_misses += 1
-        result = self._walker.walk(cp15.ttbr, vaddr, access, kernel)
+        # Host-side observability only (miss path, never per-insn):
+        # guest accounting above is identical either way.
+        if METRICS.enabled:
+            with METRICS.phase("funccore.tlb_walk"):
+                result = self._walker.walk(cp15.ttbr, vaddr, access, kernel)
+        else:
+            result = self._walker.walk(cp15.ttbr, vaddr, access, kernel)
         counters.ptw_levels += result.levels
         entry = result.narrow(vaddr)
         before = dtlb.evictions
@@ -195,9 +202,18 @@ class FunctionalCore(Simulator):
             if not entry.allows(AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL):
                 raise Fault(FaultType.PERMISSION, vaddr, AccessType.EXECUTE)
             return entry.ppage | (vaddr & 0xFFF)
-        result = self._walker.walk(
-            cp15.ttbr, vaddr, AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL
-        )
+        if METRICS.enabled:
+            with METRICS.phase("funccore.tlb_walk"):
+                result = self._walker.walk(
+                    cp15.ttbr,
+                    vaddr,
+                    AccessType.EXECUTE,
+                    self.cpu.psr & PSR_MODE_KERNEL,
+                )
+        else:
+            result = self._walker.walk(
+                cp15.ttbr, vaddr, AccessType.EXECUTE, self.cpu.psr & PSR_MODE_KERNEL
+            )
         entry = result.narrow(vaddr)
         self._itlb.insert(vaddr, entry)
         return entry.ppage | (vaddr & 0xFFF)
@@ -366,6 +382,9 @@ class FunctionalCore(Simulator):
         if not self._use_decode_cache:
             self.counters.decode_misses += 1
             self._exec_pages.add(paddr >> PAGE_SHIFT)
+            if METRICS.enabled:
+                with METRICS.phase("funccore.decode"):
+                    return decode(word)
             return decode(word)
         ppage = paddr >> PAGE_SHIFT
         page = self._decode_pages.get(ppage)
@@ -377,7 +396,11 @@ class FunctionalCore(Simulator):
                 self.counters.decode_hits += 1
                 return entry[1]
         self.counters.decode_misses += 1
-        insn = decode(word)
+        if METRICS.enabled:
+            with METRICS.phase("funccore.decode"):
+                insn = decode(word)
+        else:
+            insn = decode(word)
         page[paddr] = (word, insn)
         self._code_pages.add(ppage)
         self._exec_pages.add(ppage)
@@ -387,6 +410,8 @@ class FunctionalCore(Simulator):
     # Exception delivery
     # ------------------------------------------------------------------
     def _deliver(self, vector, return_pc, fault=None):
+        if METRICS.enabled:
+            METRICS.inc("funccore.exceptions")
         if fault is not None:
             self._cp15.record_fault(fault)
         self.cpu.enter_exception(return_pc, self._cp15.vbar, vector)

@@ -3,12 +3,37 @@
 :class:`DirectoryStore` is the content-addressed two-level directory
 store underlying both persistent caches -- execution records
 (:mod:`repro.core.resultcache`) and compiled DBT blocks
-(:mod:`repro.sim.dbt.codestore`).  It lives here, dependency-free, so
-either side can import it without dragging in the other's package.
+(:mod:`repro.sim.dbt.codestore`).  It lives here, close to
+dependency-free, so either side can import it without dragging in the
+other's package.
+
+Two layers of accounting:
+
+- **session counters** (``hits``/``misses``/``stores``/``quarantined``)
+  live on the instance and cover this process only; they are mirrored
+  into the process-global metrics registry under
+  ``<metrics_name>.<event>`` names so the observability layer sees
+  them without polling;
+- **persistent totals** live in a ``_totals.json`` file at the store
+  root (never mistaken for an entry: entries only live in the
+  two-character fan-out subdirectories).  :meth:`fold_totals` folds a
+  session delta in with a read-add-replace over an atomic rename --
+  callers fold once per run (the experiment runner does this for the
+  parent *and* every pool worker's shipped delta), so ``repro cache
+  stats`` reports activity across all processes, not just the parent.
 """
 
+import json
 import os
 import tempfile
+
+from repro.obs.metrics import METRICS
+
+#: The persistent-totals file at the store root.
+TOTALS_FILENAME = "_totals.json"
+
+#: The session-counter vocabulary (also the totals-file schema).
+SESSION_KEYS = ("hits", "misses", "stores", "quarantined")
 
 
 class DirectoryStore:
@@ -20,14 +45,18 @@ class DirectoryStore:
     are *quarantined* (unlinked, counted) rather than left to make
     every future run re-pay a doomed open+parse.
 
-    Subclasses define :attr:`suffix`, :attr:`decode_errors` and the
-    :meth:`_read_entry`/:meth:`_write_entry` codecs.
+    Subclasses define :attr:`suffix`, :attr:`decode_errors`, the
+    :meth:`_read_entry`/:meth:`_write_entry` codecs and
+    :attr:`metrics_name` (the registry prefix for hit/miss/store/
+    quarantine counters; ``None`` disables mirroring).
     """
 
     suffix = ".json"
     #: Exception types that mark an on-disk entry as corrupt (beyond
     #: ``OSError``, which is a plain miss -- e.g. entry absent).
     decode_errors = (ValueError, KeyError, TypeError)
+    #: Prefix for mirrored metrics counters (``<name>.hits``, ...).
+    metrics_name = None
 
     def __init__(self, root):
         self.root = os.fspath(root)
@@ -39,6 +68,14 @@ class DirectoryStore:
     # ------------------------------------------------------------------
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + self.suffix)
+
+    def _record(self, event):
+        # Store traffic is rare (at most once per unique job / per
+        # translated block) and sits on I/O paths, so it records
+        # unconditionally -- the registry's enabled gate is a *hot-path*
+        # economy, and cache accounting must never be lossy.
+        if self.metrics_name is not None:
+            METRICS.inc("%s.%s" % (self.metrics_name, event))
 
     def _read_entry(self, path):
         """Decode one entry file; raise ``decode_errors`` on corruption."""
@@ -55,16 +92,20 @@ class DirectoryStore:
             value = self._read_entry(path)
         except OSError:
             self.misses += 1
+            self._record("misses")
             return None
         except self.decode_errors:
             self.misses += 1
             self.quarantined += 1
+            self._record("misses")
+            self._record("quarantined")
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
         self.hits += 1
+        self._record("hits")
         return value
 
     def put(self, key, value):
@@ -82,6 +123,61 @@ class DirectoryStore:
                 pass
             raise
         self.stores += 1
+        self._record("stores")
+
+    # ------------------------------------------------------------------
+    def session_stats(self):
+        """This process's counters (a delta suitable for fold_totals)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }
+
+    def _totals_path(self):
+        return os.path.join(self.root, TOTALS_FILENAME)
+
+    def totals(self):
+        """The persistent cross-process totals (zeros when absent)."""
+        try:
+            with open(self._totals_path(), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return dict.fromkeys(SESSION_KEYS, 0)
+        return {key: int(payload.get(key, 0)) for key in SESSION_KEYS}
+
+    def fold_totals(self, delta=None):
+        """Fold a session delta into ``_totals.json`` and return the new
+        totals.
+
+        ``delta`` defaults to this instance's session counters.  The
+        fold is read-add-replace through an atomic rename: concurrent
+        folds cannot tear the file (one of them wins whole); callers
+        fold once per run, so the window for losing a concurrent
+        increment is negligible against a lossy alternative of
+        parent-only counting.
+        """
+        if delta is None:
+            delta = self.session_stats()
+        if not any(int(delta.get(key, 0)) for key in SESSION_KEYS):
+            return self.totals()
+        totals = self.totals()
+        for key in SESSION_KEYS:
+            totals[key] += int(delta.get(key, 0))
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(totals, fh, sort_keys=True)
+            os.replace(tmp, self._totals_path())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return totals
 
     # ------------------------------------------------------------------
     def _entry_paths(self):
@@ -96,7 +192,8 @@ class DirectoryStore:
                     yield os.path.join(subdir, name)
 
     def stats(self):
-        """Summary of the on-disk store plus this session's counters."""
+        """Summary of the on-disk store plus this session's counters
+        and the persistent cross-process totals."""
         entries = 0
         total_bytes = 0
         for path in self._entry_paths():
@@ -113,10 +210,12 @@ class DirectoryStore:
             "misses": self.misses,
             "stores": self.stores,
             "quarantined": self.quarantined,
+            "totals": self.totals(),
         }
 
     def clear(self):
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and the persistent totals);
+        returns the number of entries removed."""
         removed = 0
         for path in list(self._entry_paths()):
             try:
@@ -124,6 +223,10 @@ class DirectoryStore:
                 removed += 1
             except OSError:
                 pass
+        try:
+            os.unlink(self._totals_path())
+        except OSError:
+            pass
         return removed
 
     def __repr__(self):

@@ -13,6 +13,7 @@ import pytest
 
 from repro.arch import get_arch
 from repro.core import SUITE, Harness
+from repro.obs.metrics import METRICS
 from repro.platform import get_platform
 from repro.sim import DBTSimulator, FastInterpreter
 from repro.sim.dbt import codestore
@@ -66,6 +67,24 @@ class TestToggleEquivalence:
         TRANSLATION_MEMO.clear()
         off = _observe(harness, bench, arch_name, spec_for("qemu-dbt", memoize=False))
         assert on == off
+
+    def test_metrics_toggle(self, harness, bench, arch_name):
+        # The observability layer records host-side phases/counters
+        # only: guest-visible counters and modeled time must be
+        # bit-identical with metrics enabled vs disabled, on both the
+        # interpreter and the DBT engine.
+        for sim in ("simit", "qemu-dbt"):
+            spec = spec_for(sim)
+            METRICS.reset()
+            METRICS.enable(False)
+            off = _observe(harness, bench, arch_name, spec)
+            try:
+                METRICS.enable()
+                on = _observe(harness, bench, arch_name, spec)
+            finally:
+                METRICS.enable(False)
+                METRICS.reset()
+            assert on == off
 
     def test_dbt_persistent_store(self, harness, bench, arch_name, tmp_path):
         # memoize off forces every translate through the disk store.
