@@ -49,7 +49,13 @@ from repro.core import (
     TimingPolicy,
     get_benchmark,
 )
-from repro.obs.export import breakdown, render_breakdown, render_phases, write_jsonl
+from repro.obs.export import (
+    breakdown,
+    render_breakdown,
+    render_histograms,
+    render_phases,
+    write_jsonl,
+)
 from repro.obs.metrics import METRICS
 from repro.platform import PLATFORMS, get_platform
 from repro.sim import SIMULATOR_CLASSES
@@ -142,6 +148,15 @@ def _add_runner_options(parser):
         help="fan unique executions over N worker processes (default: serial)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="jobs per pool dispatch under --jobs (default: 0 = adaptive, "
+        "targeting ~100ms of worker time per chunk); larger chunks "
+        "amortise dispatch overhead, smaller ones load-balance better",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="result-cache directory; warm runs re-price cached counter "
@@ -229,6 +244,7 @@ def _runner_for(args, harness=None):
         deadline=getattr(args, "deadline", None),
         retries=getattr(args, "retries", 1),
         code_cache_dir=getattr(args, "code_cache_dir", None),
+        chunk_size=getattr(args, "chunk_size", 0),
     )
 
 
@@ -587,6 +603,10 @@ def _cmd_metrics(args):
         print("Counters:")
         for name, value in snapshot["counters"].items():
             print("  %-28s %d" % (name, value))
+    if snapshot.get("histograms"):
+        print()
+        print("Histograms:")
+        print(render_histograms(snapshot))
 
     # --metrics-out (from the shared runner options) is honoured as an
     # alias for --out, so every runner-backed command spells it the same.

@@ -11,9 +11,16 @@ execution:
   generalisation of the version sweep's structural grouping to every
   engine: engine specs differing only in pricing fields, or plainly
   repeated jobs, execute once and are priced per spec);
-- unique executions are optionally fanned out over a process pool
-  (``jobs=N``); results are merged in submission order, so parallelism
-  never changes the output;
+- unique executions are optionally fanned out over a *persistent warm*
+  process pool (``jobs=N``): the deduplicated job list is sharded by
+  engine structural key (DBT-memoization / code-store locality) and
+  submitted in *chunks* -- adaptive size targeting ~100ms of worker
+  time per dispatch -- with one aggregated return payload per chunk,
+  so per-dispatch pickling/IPC/snapshot cost is amortised over many
+  jobs; the pool survives across :meth:`ExperimentRunner.run` calls,
+  so repeat grids find warm workers (built programs, translation
+  memos, open code store).  Results are merged in submission order, so
+  parallelism never changes the output;
 - execution is *fault-isolated*: a crashing engine/benchmark cell
   becomes one ``crashed`` row (the harness catches the exception), a
   dying worker process breaks only its own jobs (the runner falls back
@@ -35,16 +42,22 @@ possible without pickling live engine state.
 
 Observability: every executed job is timed (``wall_ns``, and for pool
 jobs ``queue_wait_ns``); workers snapshot their process-local metrics
-registry per job and ship it back with the record, and the parent
-merges those snapshots in submission order -- so the merged registry
-(and the per-job rows in :attr:`ExperimentRunner.last_jobs`) is
-deterministic up to the timings themselves.  Persistent-store session
+registry per *chunk* and ship it back with the chunk's records, and
+the parent merges those snapshots in chunk submission order -- so the
+merged registry (and the per-job rows in
+:attr:`ExperimentRunner.last_jobs`) is deterministic up to the timings
+themselves.  The parent additionally times chunk dispatch
+(``runner.dispatch``), records a chunk-size histogram
+(``runner.chunk_size``) and counts shipped payload bytes
+(``runner.payload_bytes``), so pool overhead is visible per run.  Persistent-store session
 deltas (result cache, DBT code store) are folded into each store's
 on-disk totals at the end of every run, covering parent *and* worker
 activity (``repro cache stats`` reports them).
 """
 
+import json
 import os
+import pickle
 import signal
 import threading
 import time
@@ -335,50 +348,135 @@ def _terminate_pool_processes(pool):
 
 
 #: Per-worker harness, created once per pool process so built guest
-#: programs are reused across the jobs that land on that worker.
+#: programs, translation memos and decoded blocks are reused across
+#: every chunk that lands on that worker for its whole lifetime.
 _WORKER_HARNESS = None
 _WORKER_DEADLINE = None
+#: Per-worker transport caches: benchmark objects resolved by registry
+#: name and engine specs rebuilt from compact payloads, both keyed so
+#: repeat chunks pay the lookup/validation once per worker lifetime.
+_WORKER_BENCHMARKS = {}
+_WORKER_SPECS = {}
+
+
+def _warm_registries():
+    """Preload every registry a chunk payload may reference.
+
+    Called once per worker lifetime from :func:`_init_worker`, so the
+    first chunk does not pay the engine/benchmark/workload registry
+    imports inside its timed window."""
+    from repro.arch import get_arch  # noqa: F401  (import-time registry)
+    from repro.core.benchmarks.extensions import EXTENSION_SUITE  # noqa: F401
+    from repro.platform import get_platform  # noqa: F401
+    from repro.sim.spec import SPEC_CLASSES  # noqa: F401
+    from repro.workloads import SPEC_PROXIES  # noqa: F401
 
 
 def _init_worker(
     timing, max_insns, deadline=None, code_cache_dir=None, metrics_enabled=False
 ):
+    """Warm up one pool worker for its whole lifetime.
+
+    Builds the worker's harness once, preloads the engine/benchmark
+    registries, and opens the persistent DBT code store once -- so
+    chunks arriving later find a warm process and pay only kernel
+    time."""
     global _WORKER_HARNESS, _WORKER_DEADLINE
     _WORKER_HARNESS = Harness(timing=timing, max_insns=max_insns)
     _WORKER_DEADLINE = deadline
+    _WORKER_BENCHMARKS.clear()
+    _WORKER_SPECS.clear()
     METRICS.enable(metrics_enabled)
     if code_cache_dir is not None:
         # Workers are fresh processes: install the persistent DBT code
         # store so warm translations are shared across the whole pool.
         codestore.configure(code_cache_dir)
+    _warm_registries()
 
 
-def _execute_job(spec):
-    """Pool worker: execute one job in this worker's harness.
+def _worker_benchmark(ref):
+    """Resolve a chunk job's benchmark reference in this worker.
 
-    Module-level so it pickles by reference; the harness itself is
-    never shipped across the process boundary.  The per-job deadline is
-    enforced *inside* the worker (each worker runs one job at a time on
-    its main thread), so a timeout never requires killing the pool.
+    ``ref`` is a registry name for anything registry-resolvable (the
+    compact, common case) or the pickled benchmark object itself for
+    ad-hoc benchmarks that exist only in the parent (fault-injection
+    helpers, user-defined cells)."""
+    if not isinstance(ref, str):
+        return ref
+    benchmark = _WORKER_BENCHMARKS.get(ref)
+    if benchmark is None:
+        benchmark = _WORKER_BENCHMARKS[ref] = resolve_benchmark(ref)
+    return benchmark
 
-    Returns ``(record, aux)`` where ``aux`` carries everything the
-    parent's observability merge needs: the job's worker wall time, a
-    per-job snapshot of the worker's metrics registry (reset at job
-    start, so snapshots are disjoint deltas) and the job's DBT
-    code-store session delta (so store accounting survives the process
-    boundary -- the parent folds it into the store's on-disk totals).
+
+def _worker_spec(payload):
+    """Rebuild (and memoize) an :class:`EngineSpec` from its compact
+    delta payload; validation runs once per distinct spec per worker."""
+    key = json.dumps(payload, sort_keys=True)
+    spec = _WORKER_SPECS.get(key)
+    if spec is None:
+        spec = _WORKER_SPECS[key] = EngineSpec.from_payload(payload)
+    return spec
+
+
+def _execute_chunk(blob):
+    """Pool worker: execute one pre-pickled chunk of jobs.
+
+    ``blob`` decodes to ``{"engines": [delta_payload, ...], "jobs":
+    [(benchmark_ref, engine_index, arch, platform, iterations), ...]}``
+    -- engine specs are interned per chunk and shipped as
+    defaults-stripped deltas, jobs as name tuples, so the wire payload
+    stays a few hundred bytes however large the chunk is.
+
+    Every job runs under the worker-side per-job deadline watchdog
+    (each worker runs one chunk at a time on its main thread), so a
+    timeout inside a chunk becomes one ``timeout`` record without
+    killing the worker, and an engine crash becomes one ``crashed``
+    record -- chunking never widens the blast radius of a failure.
+
+    Returns ``(records, aux)``: one ``ExecutionRecord`` payload per job
+    in chunk order, plus ONE aggregated aux for the whole chunk --
+    per-job wall times, the chunk's total wall, a single snapshot of
+    the worker's metrics registry (reset at chunk start, so snapshots
+    are disjoint deltas) and a single DBT code-store session delta.
+    This is the batching payoff: one snapshot/delta/transport per
+    dispatch instead of per job.
     """
+    from repro.arch import get_arch
+    from repro.platform import get_platform
+
+    payload = pickle.loads(blob)
+    engines = [_worker_spec(spec) for spec in payload["engines"]]
     METRICS.reset()
     store = codestore.active()
     store_before = store.session_stats() if store is not None else None
-    record, wall_ns = _timed_execute(_WORKER_HARNESS, spec, _WORKER_DEADLINE)
-    aux = {"wall_ns": wall_ns, "metrics": METRICS.snapshot()}
+    chunk_start = time.perf_counter_ns()
+    records = []
+    walls = []
+    for bench_ref, engine_index, arch, platform, iterations in payload["jobs"]:
+        spec = JobSpec(
+            _worker_benchmark(bench_ref),
+            engines[engine_index],
+            get_arch(arch),
+            get_platform(platform),
+            iterations=iterations,
+        )
+        record, wall_ns = _timed_execute(_WORKER_HARNESS, spec, _WORKER_DEADLINE)
+        records.append(record.to_payload())
+        walls.append(wall_ns)
+    chunk_wall_ns = time.perf_counter_ns() - chunk_start
+    METRICS.add_phase_ns("runner.chunk", chunk_wall_ns)
+    aux = {
+        "walls": walls,
+        "chunk_wall_ns": chunk_wall_ns,
+        "metrics": METRICS.snapshot(),
+    }
     if store is not None:
         after = store.session_stats()
         aux["codestore"] = {
             key: after[key] - store_before[key] for key in after
         }
-    return record, aux
+    return records, aux
 
 
 def _fresh_job_info():
@@ -399,6 +497,17 @@ class ExperimentRunner:
     ----------
     jobs:
         Fan unique executions over N worker processes (1 = serial).
+        The pool is *persistent*: created lazily on the first parallel
+        run and kept warm across :meth:`run` calls until :meth:`close`
+        (or garbage collection), so repeat grids reuse built programs,
+        translation memos and the open code store.
+    chunk_size:
+        Jobs per pool dispatch.  ``None``/``0`` (the default) adapts:
+        the runner targets ~100ms of estimated worker time per chunk
+        (EWMA of observed per-job wall time across runs), clamped so
+        every worker gets work.  Chunks never mix engine structural
+        keys -- each chunk is homogeneous, for DBT-memoization and
+        code-store locality inside the worker.
     cache:
         Optional :class:`~repro.core.resultcache.ResultCache`.
     deadline:
@@ -426,6 +535,11 @@ class ExperimentRunner:
     the process-global registry in submission order.
     """
 
+    #: Target estimated worker time per dispatched chunk (~100ms): big
+    #: enough to amortise dispatch/pickling/snapshot cost, small enough
+    #: to keep the grid load-balanced across workers.
+    TARGET_CHUNK_NS = 100_000_000
+
     def __init__(
         self,
         harness=None,
@@ -435,9 +549,11 @@ class ExperimentRunner:
         retries=1,
         retry_backoff=0.05,
         code_cache_dir=None,
+        chunk_size=None,
     ):
         self.harness = harness if harness is not None else Harness(timing=TimingPolicy.MODELED)
         self.jobs = max(1, int(jobs))
+        self.chunk_size = max(0, int(chunk_size)) if chunk_size else 0
         self.cache = cache
         self.deadline = float(deadline) if deadline else None
         self.retries = max(0, int(retries))
@@ -445,6 +561,17 @@ class ExperimentRunner:
         self.code_cache_dir = os.fspath(code_cache_dir) if code_cache_dir else None
         if self.code_cache_dir is not None:
             codestore.configure(self.code_cache_dir)
+        # The persistent warm pool (created lazily on the first parallel
+        # run, reused until the harness/deadline configuration changes
+        # or the pool breaks) and its configuration key.
+        self._pool = None
+        self._pool_key = None
+        # EWMA of observed per-job wall time, feeding adaptive chunk
+        # sizing on the next run.
+        self._ewma_job_ns = None
+        # Per-run pool accounting (chunks dispatched, split rounds,
+        # payload bytes, planned chunk size).
+        self._pool_stats = self._fresh_pool_stats()
         #: Counters for the last :meth:`run` call.
         self.last_stats = {}
         #: Per-job observability rows for the last :meth:`run` call.
@@ -469,6 +596,79 @@ class ExperimentRunner:
         one run -- never a carry-over from a previous grid."""
         return {"retried": 0, "worker_lost": 0}
 
+    @staticmethod
+    def _fresh_pool_stats():
+        """Per-run pool accounting, reset at the start of every run;
+        folded into :attr:`last_stats` only when the pool path actually
+        dispatched chunks (serial runs keep the legacy stats shape)."""
+        return {"chunks": 0, "chunk_splits": 0, "payload_bytes": 0, "chunk_size": 0}
+
+    # -- pool lifecycle ------------------------------------------------
+    def _ensure_pool(self):
+        """The persistent warm pool, (re)created on demand.
+
+        The pool is keyed on everything the workers are initialised
+        with; a configuration change (or a previous breakage) discards
+        the old pool and builds a fresh one.  Returns ``None`` when no
+        pool can be created -- callers then leave every chunk
+        undelivered for the in-parent serial path."""
+        key = (
+            self.harness.timing,
+            self.harness.max_insns,
+            self.deadline,
+            self.code_cache_dir,
+            METRICS.enabled,
+            self.jobs,
+        )
+        if self._pool is not None and (
+            self._pool_key != key or getattr(self._pool, "_broken", False)
+        ):
+            self._discard_pool()
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_worker,
+                    initargs=(
+                        self.harness.timing,
+                        self.harness.max_insns,
+                        self.deadline,
+                        self.code_cache_dir,
+                        METRICS.enabled,
+                    ),
+                )
+                self._pool_key = key
+            except (OSError, ValueError):
+                self._pool = None
+        return self._pool
+
+    def _discard_pool(self):
+        pool, self._pool = self._pool, None
+        self._pool_key = None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+    def close(self):
+        """Shut down the persistent worker pool (idempotent).  The
+        runner stays usable -- the next parallel run warms a new
+        pool."""
+        self._discard_pool()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __del__(self):
+        try:
+            self._discard_pool()
+        except Exception:
+            pass
+
     # ------------------------------------------------------------------
     def _cache_usable(self):
         return self.cache is not None and self.harness.timing is TimingPolicy.MODELED
@@ -484,6 +684,7 @@ class ExperimentRunner:
         """
         specs = [spec if isinstance(spec, JobSpec) else JobSpec(*spec) for spec in specs]
         self._exec_stats = self._fresh_exec_stats()
+        self._pool_stats = self._fresh_pool_stats()
         self._worker_codestore = {}
 
         # Group structurally-equal jobs in submission order.
@@ -558,6 +759,25 @@ class ExperimentRunner:
             "retried": self._exec_stats["retried"],
             "worker_lost": self._exec_stats["worker_lost"],
         }
+        if self._pool_stats["chunks"]:
+            # Pool-path extras: only present when chunks were actually
+            # dispatched, so serial runs keep the legacy stats shape.
+            self.last_stats.update(self._pool_stats)
+
+        # Feed observed per-job wall time into the adaptive chunk sizer
+        # for the next run (EWMA, so one noisy grid cannot dominate).
+        walls = [
+            info["wall_ns"] // info["attempts"]
+            for info in exec_infos
+            if info["attempts"] and info["wall_ns"] > 0
+        ]
+        if walls:
+            mean = sum(walls) // len(walls)
+            self._ewma_job_ns = (
+                mean
+                if self._ewma_job_ns is None
+                else (self._ewma_job_ns + mean) // 2
+            )
 
         # Per-job observability rows, in submission order.  The first
         # spec of each execution group carries the group's source and
@@ -654,20 +874,133 @@ class ExperimentRunner:
                     pass
             self._worker_codestore = {}
 
-    def _merge_worker_aux(self, aux, info, parent_elapsed_ns):
-        """Fold one worker job's aux payload into parent-side state."""
-        if not aux:
-            return
-        wall_ns = int(aux.get("wall_ns", 0))
-        info["wall_ns"] += wall_ns
+    # -- chunk planning ------------------------------------------------
+    def _auto_chunk_size(self, pending_count, workers):
+        """Jobs per chunk for this run.
+
+        An explicit ``chunk_size`` wins.  Otherwise size adapts: with a
+        per-job wall-time estimate (EWMA across runs), target
+        :attr:`TARGET_CHUNK_NS` of worker time per dispatch; without
+        one (first run), fall back to a few chunks per worker for load
+        balance.  Always clamped so no chunk exceeds an even share of
+        the grid -- every worker gets work."""
+        if self.chunk_size:
+            return self.chunk_size
+        fair_share = -(-pending_count // workers)  # ceil
+        if self._ewma_job_ns and self._ewma_job_ns > 0:
+            by_time = int(self.TARGET_CHUNK_NS // self._ewma_job_ns)
+            return max(1, min(max(1, by_time), fair_share))
+        return max(1, -(-pending_count // (workers * 4)))
+
+    def _plan_chunks(self, specs):
+        """Shard pending specs into chunks of indices.
+
+        Jobs are first grouped by engine structural key (first-seen
+        order), then each group is cut into chunks -- a chunk never
+        mixes structural keys, so whichever worker picks it up runs a
+        homogeneous batch with maximal DBT-memoization and code-store
+        locality.  Chunk order preserves submission order within and
+        across groups, and the parent harvests in submission order, so
+        the merge stays deterministic."""
+        workers = min(self.jobs, len(specs))
+        size = self._auto_chunk_size(len(specs), workers)
+        self._pool_stats["chunk_size"] = size
+        groups = {}
+        order = []
+        for index, spec in enumerate(specs):
+            key = spec.structural_key()
+            members = groups.get(key)
+            if members is None:
+                members = groups[key] = []
+                order.append(key)
+            members.append(index)
+        chunks = []
+        for key in order:
+            members = groups[key]
+            for start in range(0, len(members), size):
+                chunks.append(members[start : start + size])
+        return chunks
+
+    def _chunk_blob(self, chunk_specs):
+        """Pre-pickle one chunk's wire payload (parent side).
+
+        Engine specs are interned (one defaults-stripped delta payload
+        per distinct spec, jobs reference them by index) and benchmarks
+        ship as registry names when resolvable -- ad-hoc benchmark
+        objects that only exist in the parent are shipped by value, so
+        fault-injection and user-defined cells keep working.  The blob
+        size feeds the ``runner.payload_bytes`` counter."""
+        engines = []
+        engine_index = {}
+        jobs = []
+        for spec in chunk_specs:
+            index = engine_index.get(spec.engine_spec)
+            if index is None:
+                index = engine_index[spec.engine_spec] = len(engines)
+                engines.append(spec.engine_spec.delta_payload())
+            name = spec.benchmark.name
+            try:
+                by_name = resolve_benchmark(name) is spec.benchmark
+            except KeyError:
+                by_name = False
+            jobs.append(
+                (
+                    name if by_name else spec.benchmark,
+                    index,
+                    spec.arch.name,
+                    spec.platform.name,
+                    spec.iterations,
+                )
+            )
+        blob = pickle.dumps(
+            {"engines": engines, "jobs": jobs}, pickle.HIGHEST_PROTOCOL
+        )
+        METRICS.inc("runner.payload_bytes", len(blob))
+        self._pool_stats["payload_bytes"] += len(blob)
+        return blob
+
+    def _accept_chunk(self, chunk, payload, parent_elapsed_ns, results, infos):
+        """Fold one delivered chunk payload into results/infos.
+
+        Returns ``False`` (leaving the chunk untouched for the
+        split/serial path) if the payload is not the expected
+        ``(records, aux)`` pair with one record per job."""
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            return False
+        record_payloads, aux = payload
+        if (
+            not isinstance(record_payloads, (list, tuple))
+            or len(record_payloads) != len(chunk)
+        ):
+            return False
+        try:
+            records = [
+                ExecutionRecord.from_payload(item) for item in record_payloads
+            ]
+        except Exception:
+            return False
+        aux = aux or {}
+        walls = list(aux.get("walls") or [0] * len(chunk))
+        chunk_wall_ns = int(
+            aux.get("chunk_wall_ns") or sum(int(wall) for wall in walls)
+        )
         # Parent-observed latency minus worker compute: an upper bound
         # on pool scheduling/transport delay (clamped -- the two stamps
-        # come from different clocks' origins, only spans are compared).
+        # come from different clocks' origins, only spans are compared),
+        # attributed evenly across the chunk's jobs.
+        queue_share = 0
         if parent_elapsed_ns is not None:
-            queue_wait = max(0, int(parent_elapsed_ns) - wall_ns)
-            info["queue_wait_ns"] += queue_wait
+            queue_wait = max(0, int(parent_elapsed_ns) - chunk_wall_ns)
             if METRICS.enabled:
                 METRICS.add_phase_ns("runner.queue_wait", queue_wait)
+            queue_share = queue_wait // len(chunk)
+        for position, index in enumerate(chunk):
+            results[index] = records[position]
+            info = infos[index]
+            info["attempts"] += 1
+            info["where"] = "pool"
+            info["wall_ns"] += int(walls[position]) if position < len(walls) else 0
+            info["queue_wait_ns"] += queue_share
         METRICS.merge(aux.get("metrics"))
         delta = aux.get("codestore")
         if delta:
@@ -675,25 +1008,46 @@ class ExperimentRunner:
                 self._worker_codestore[key] = (
                     self._worker_codestore.get(key, 0) + int(value)
                 )
+        return True
 
     def _execute_pending(self, specs):
         """Execute ``specs``, returning ``(records, infos)`` -- one
         record and one observability row per spec in submission order
         -- never raising for a job's failure.
 
-        Pipeline: (1) optional pool fan-out, collecting whatever the
-        workers manage to produce; (2) in-parent serial execution for
-        jobs the pool lost (worker death, pool teardown); (3) retry
-        rounds with backoff for transient failures.
+        Pipeline: (1) optional chunked pool fan-out over the persistent
+        warm pool, collecting whatever the workers deliver; (2) one
+        *split round* -- any lost multi-job chunk (worker death, wedge,
+        transport error) is resubmitted as singleton chunks on a fresh
+        pool, so a failure inside a chunk quarantines only the
+        offending job; (3) in-parent serial execution for jobs the pool
+        still failed to deliver; (4) retry rounds with backoff for
+        transient failures.
         """
         if not specs:
             return [], []
         results = [None] * len(specs)
         infos = [_fresh_job_info() for _ in specs]
         if self.jobs > 1 and len(specs) > 1:
-            self._pool_round(specs, results, infos)
+            chunks = self._plan_chunks(specs)
+            undelivered = self._pool_round(specs, chunks, results, infos)
+            if any(len(chunk) > 1 for chunk in undelivered):
+                # Sub-chunk split: losing a chunk must not mean losing
+                # a batch.  Retry every still-missing job from the lost
+                # chunks as singleton chunks -- only the job that
+                # actually killed its worker falls through to the
+                # parent.
+                self._pool_stats["chunk_splits"] += 1
+                METRICS.inc("runner.chunk_splits")
+                singles = [
+                    [index]
+                    for chunk in undelivered
+                    for index in chunk
+                    if results[index] is None
+                ]
+                self._pool_round(specs, singles, results, infos)
         # In-parent serial execution: the base path when jobs=1, the
-        # fallback for anything a broken pool failed to deliver.
+        # fallback for anything the pool failed to deliver.
         lost = [index for index, record in enumerate(results) if record is None]
         if self.jobs > 1 and len(specs) > 1 and lost:
             self._exec_stats["worker_lost"] += len(lost)
@@ -709,107 +1063,108 @@ class ExperimentRunner:
         self._retry_transient(specs, results, infos)
         return results, infos
 
-    def _pool_round(self, specs, results, infos):
-        """One pool pass over ``specs``, filling ``results``/``infos``
-        in place.
+    def _pool_round(self, specs, chunks, results, infos):
+        """One pool pass submitting ``chunks`` (lists of indices into
+        ``specs``), filling ``results``/``infos`` in place.
 
-        Jobs whose futures fail to deliver a record (worker death,
-        ``BrokenProcessPool``, transport errors) are simply left as
-        ``None`` for the caller's serial fallback; completed results
-        collected before a pool breakage are kept.  Worker aux payloads
-        (metrics snapshots, code-store deltas) are merged in submission
-        order, so the merged registry is order-deterministic.
+        Chunks deliver atomically: a chunk whose future fails (worker
+        death, ``BrokenProcessPool``, transport error, wedged worker
+        past the hard cap) is returned in the *undelivered* list for
+        the caller's split/serial path; chunks completed before a pool
+        breakage are kept (partial harvest).  Delivered chunk aux
+        payloads (metrics snapshots, code-store deltas) are merged in
+        submission order, so the merged registry is
+        order-deterministic.
         """
-        workers = min(self.jobs, len(specs))
+        pool = self._ensure_pool()
+        if pool is None:
+            return list(chunks)
+        undelivered = []
+        futures = []
+        done_stamp = {}
 
-        def _accept(index, payload, parent_elapsed_ns):
-            record, aux = payload
-            results[index] = record
-            infos[index]["attempts"] += 1
-            infos[index]["where"] = "pool"
-            self._merge_worker_aux(aux, infos[index], parent_elapsed_ns)
+        def _stamper(chunk_id):
+            def _on_done(_future):
+                done_stamp[chunk_id] = time.perf_counter_ns()
 
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(
-                    self.harness.timing,
-                    self.harness.max_insns,
-                    self.deadline,
-                    self.code_cache_dir,
-                    METRICS.enabled,
-                ),
-            ) as pool:
-                done_stamp = [None] * len(specs)
+            return _on_done
 
-                def _stamper(index):
-                    def _on_done(_future):
-                        done_stamp[index] = time.perf_counter_ns()
+        submit_ns = time.perf_counter_ns()
+        submit_failed = False
+        for chunk_id, chunk in enumerate(chunks):
+            if submit_failed:
+                undelivered.append(chunk)
+                continue
+            dispatch_start = time.perf_counter_ns()
+            try:
+                blob = self._chunk_blob([specs[index] for index in chunk])
+                future = pool.submit(_execute_chunk, blob)
+            except (BrokenProcessPool, OSError, RuntimeError):
+                submit_failed = True
+                undelivered.append(chunk)
+                continue
+            METRICS.add_phase_ns(
+                "runner.dispatch", time.perf_counter_ns() - dispatch_start
+            )
+            METRICS.observe("runner.chunk_size", len(chunk))
+            self._pool_stats["chunks"] += 1
+            future.add_done_callback(_stamper(chunk_id))
+            futures.append((chunk_id, chunk, future))
 
-                    return _on_done
-
-                submit_ns = time.perf_counter_ns()
-                futures = []
-                for index, spec in enumerate(specs):
-                    future = pool.submit(_execute_job, spec)
-                    future.add_done_callback(_stamper(index))
-                    futures.append(future)
-                # Safety net over the worker-side watchdog: if a worker
-                # wedges in uninterruptible code, stop waiting for it
-                # (it is then handled -- and timed -- in-parent).
-                hard_cap = None
-                if self.deadline:
-                    hard_cap = max(self.deadline * 4.0, self.deadline + 30.0)
-                for index, future in enumerate(futures):
-                    try:
-                        payload = future.result(timeout=hard_cap)
-                    except FutureTimeoutError:
-                        # A worker wedged in uninterruptible code past
-                        # the watchdog's hard cap.  Kill the pool (or
-                        # shutdown would join the wedged worker
-                        # forever), harvest anything already finished,
-                        # and let the serial fallback take the rest.
-                        _terminate_pool_processes(pool)
-                        for done_index, done in enumerate(futures):
-                            if results[done_index] is None and done.done():
-                                try:
-                                    harvested = done.result(timeout=0)
-                                except Exception:
-                                    continue
-                                stamp = done_stamp[done_index]
-                                self._accept_or_skip(
-                                    _accept,
-                                    done_index,
-                                    harvested,
-                                    stamp - submit_ns if stamp else None,
-                                )
-                        break
-                    except Exception:
-                        # BrokenProcessPool, cancelled futures, or a
-                        # record that failed to unpickle: the job is
-                        # re-run in-parent either way.
-                        continue
-                    stamp = done_stamp[index]
-                    self._accept_or_skip(
-                        _accept,
-                        index,
-                        payload,
+        # Safety net over the worker-side watchdog: if a worker wedges
+        # in uninterruptible code, stop waiting for it (the cap scales
+        # with chunk length -- a chunk legitimately runs one deadline
+        # per job).
+        hard_cap = None
+        if self.deadline:
+            hard_cap = max(self.deadline * 4.0, self.deadline + 30.0)
+        wedged = False
+        for position, (chunk_id, chunk, future) in enumerate(futures):
+            try:
+                payload = future.result(
+                    timeout=hard_cap * len(chunk) if hard_cap else None
+                )
+            except FutureTimeoutError:
+                # A worker wedged past the hard cap.  Kill the pool (or
+                # shutdown would join the wedged worker forever),
+                # harvest the chunks that did finish, and leave the
+                # rest for the split/serial path.
+                wedged = True
+                _terminate_pool_processes(pool)
+                for late_id, late_chunk, late_future in futures[position:]:
+                    harvested = None
+                    if late_future is not future and late_future.done():
+                        try:
+                            harvested = late_future.result(timeout=0)
+                        except Exception:
+                            harvested = None
+                    stamp = done_stamp.get(late_id)
+                    if harvested is None or not self._accept_chunk(
+                        late_chunk,
+                        harvested,
                         stamp - submit_ns if stamp else None,
-                    )
-        except (BrokenProcessPool, OSError):
-            # Pool setup/teardown itself failed; everything undelivered
-            # falls back to the serial path.
-            pass
-
-    @staticmethod
-    def _accept_or_skip(accept, index, payload, parent_elapsed_ns):
-        """Accept one worker payload, tolerating legacy bare records
-        (anything that is not a ``(record, aux)`` pair)."""
-        if isinstance(payload, tuple) and len(payload) == 2:
-            accept(index, payload, parent_elapsed_ns)
-        elif payload is not None:
-            accept(index, (payload, None), parent_elapsed_ns)
+                        results,
+                        infos,
+                    ):
+                        undelivered.append(late_chunk)
+                break
+            except Exception:
+                # BrokenProcessPool, cancelled futures, or a payload
+                # that failed to unpickle: the chunk is undelivered.
+                undelivered.append(chunk)
+                continue
+            stamp = done_stamp.get(chunk_id)
+            if not self._accept_chunk(
+                chunk,
+                payload,
+                stamp - submit_ns if stamp else None,
+                results,
+                infos,
+            ):
+                undelivered.append(chunk)
+        if wedged or getattr(self._pool, "_broken", False):
+            self._discard_pool()
+        return undelivered
 
     def _retriable(self, record):
         """Whether a failed record's cause is plausibly transient."""

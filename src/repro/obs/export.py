@@ -153,6 +153,47 @@ def render_breakdown(rows):
     return "\n".join(lines)
 
 
+def render_histograms(snapshot):
+    """Render the snapshot's histograms as an aligned text table.
+
+    One row per histogram: count, mean, min/max, and the power-of-two
+    bucket spread as ``bit_length:count`` pairs (the registry buckets
+    by ``value.bit_length()``, so the layout is range-independent).
+    """
+    histograms = snapshot.get("histograms", {})
+    rows = []
+    for name in sorted(histograms):
+        hist = histograms[name]
+        count = hist.get("count", 0)
+        buckets = hist.get("buckets", {})
+        spread = " ".join(
+            "%s:%d" % (key, buckets[key])
+            for key in sorted(buckets, key=int)
+        )
+        rows.append(
+            (
+                name,
+                str(count),
+                "%.1f" % (hist.get("sum", 0) / max(1, count)),
+                str(hist.get("min", 0)),
+                str(hist.get("max", 0)),
+                spread or "-",
+            )
+        )
+    header = ("histogram", "count", "mean", "min", "max", "buckets")
+    widths = [
+        max(len(header[col]), max((len(row[col]) for row in rows), default=0))
+        for col in range(6)
+    ]
+    lines = [
+        "  ".join(header[col].ljust(widths[col]) for col in range(6)),
+        "  ".join("-" * widths[col] for col in range(6)),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[col].ljust(widths[col]) for col in range(6)))
+    return "\n".join(lines)
+
+
 def render_phases(snapshot, limit=None):
     """Render the snapshot's phase timers as an aligned text table."""
     phases = snapshot.get("phases", {})

@@ -197,6 +197,24 @@ class EngineSpec:
         """Lossless JSON-serializable form (see :meth:`from_payload`)."""
         return {"engine": self.engine, "fields": self._values()}
 
+    def delta_payload(self):
+        """Compact transport form of :meth:`to_payload`.
+
+        Carries only the fields that differ from their declared
+        defaults; :meth:`from_payload` fills the rest back in.  This is
+        what the runner ships per pool chunk -- most grid specs sit at
+        (or near) their defaults, so the wire form collapses to the
+        engine name plus a handful of deltas instead of the full field
+        dict.
+        """
+        cls = type(self)
+        fields = {}
+        for field in cls.fields:
+            value = getattr(self, field.name)
+            if value != canonical(field.default, field.name):
+                fields[field.name] = value
+        return {"engine": self.engine, "fields": fields}
+
     @staticmethod
     def from_payload(payload):
         """Rebuild a spec from :meth:`to_payload` output (identity)."""

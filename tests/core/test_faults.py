@@ -202,6 +202,54 @@ class TestWorkerDeathFallback:
         assert runner.last_stats["worker_lost"] >= 1
 
 
+class TestChunkedFaults:
+    """The PR 3 guarantees under *batched* dispatch: forcing the whole
+    grid into one multi-job chunk must not widen any failure's blast
+    radius beyond the offending job."""
+
+    def test_crash_inside_chunk_quarantines_one_job(self):
+        benchmarks = [CrashingBenchmark()] + _ok_benchmarks()
+        with ExperimentRunner(jobs=2, chunk_size=len(benchmarks)) as runner:
+            results = runner.run(_grid(*benchmarks))
+            assert [res.status for res in results] == ["crashed", "ok", "ok", "ok"]
+            # The crash was contained inside the worker: the chunk came
+            # back whole and nothing fell through to the parent.
+            assert runner.last_stats["worker_lost"] == 0
+            assert runner.last_stats["chunks"] >= 1
+            assert runner.last_stats["chunk_splits"] == 0
+
+    def test_timeout_inside_chunk_quarantines_one_job(self):
+        with ExperimentRunner(
+            jobs=2, deadline=0.15, retries=0, chunk_size=2
+        ) as runner:
+            results = runner.run(
+                _grid(SleepyBenchmark(), get_benchmark("System Call"))
+            )
+            # Both jobs share one chunk; the worker-side watchdog turns
+            # the sleeper into a timeout row without losing its chunk
+            # neighbour (the deadline stays per-job under chunking).
+            assert [res.status for res in results] == ["timeout", "ok"]
+            assert runner.last_stats["worker_lost"] == 0
+
+    def test_worker_death_in_chunk_splits_and_recovers(self):
+        benchmarks = [WorkerKillerBenchmark()] + _ok_benchmarks()
+        serial = ExperimentRunner(jobs=1).run(_grid(*benchmarks))
+        with ExperimentRunner(jobs=2, chunk_size=len(benchmarks)) as runner:
+            parallel = runner.run(_grid(*benchmarks))
+            # The dying worker takes its whole chunk down; the split
+            # round resubmits the lost jobs as singleton chunks, so
+            # only the killer cell (plus whatever died with it) falls
+            # through to the parent -- and the merged grid is still
+            # bit-for-bit the serial one, in submission order.
+            assert [res.benchmark for res in parallel] == [
+                b.name for b in benchmarks
+            ]
+            assert all(res.ok for res in parallel)
+            assert _comparable(parallel) == _comparable(serial)
+            assert runner.last_stats["chunk_splits"] == 1
+            assert runner.last_stats["worker_lost"] >= 1
+
+
 class TestDeadline:
     def test_serial_deadline_yields_timeout_record(self):
         runner = ExperimentRunner(deadline=0.15, retries=0)

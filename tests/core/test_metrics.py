@@ -395,14 +395,28 @@ class TestWorkerMetricsMerge:
         parallel.run(_grid(*_ok_benchmarks()))
         parallel_snap = METRICS.snapshot()
         # Counts are deterministic; timings are not.  Compare the
-        # deterministic projection of both snapshots.
+        # deterministic projection of both snapshots, excluding the
+        # pool-only dispatch instruments (they only exist under --jobs:
+        # queue waits, chunk dispatch/execution phases and the shipped
+        # payload-bytes counter).
+        pool_only = {
+            "runner.queue_wait",
+            "runner.dispatch",
+            "runner.chunk",
+            "runner.payload_bytes",
+            "runner.chunk_splits",
+        }
         def counts(snap):
             return (
-                snap["counters"],
+                {
+                    name: value
+                    for name, value in snap["counters"].items()
+                    if name not in pool_only
+                },
                 {
                     name: phase["count"]
                     for name, phase in snap["phases"].items()
-                    if name != "runner.queue_wait"  # pool-only phase
+                    if name not in pool_only
                 },
             )
         assert counts(parallel_snap) == counts(serial_snap)
