@@ -1,0 +1,77 @@
+"""Manifest-resume smoke: warm re-runs must execute nothing.
+
+Runs the bundled ``smoke`` manifest twice against a throwaway dataset
+directory. The cold pass must execute and append every cell; the warm
+pass must resolve every cell from the dataset (0 executed, 0 guest
+instructions) and reproduce the cold table bit-for-bit. Finally the
+``repro query`` CLI is gated on returning the appended rows.
+
+Runnable standalone: ``PYTHONPATH=src python benchmarks/smoke_manifest.py``.
+"""
+
+import shutil
+import subprocess
+import sys
+import tempfile
+
+from repro.core import ExperimentRunner
+from repro.exp import Dataset, resolve_manifest, run_manifest
+
+
+def _run(manifest, dataset):
+    with ExperimentRunner() as runner:
+        result = run_manifest(manifest, runner, dataset=dataset)
+    table = [
+        (r.benchmark, r.simulator, r.status, r.kernel_ns if r.ok else None)
+        for r in result.results
+    ]
+    return table, dict(result.stats)
+
+
+def main():
+    manifest = resolve_manifest("smoke")
+    cells = len(manifest.jobs())
+    root = tempfile.mkdtemp(prefix="manifest-smoke-")
+    try:
+        dataset = Dataset(root)
+        cold_table, cold = _run(manifest, dataset)
+        assert cold["executed"] == cells, cold
+        assert cold["dataset_appended"] == cells, cold
+        warm_table, warm = _run(manifest, dataset)
+        assert warm["executed"] == 0, "warm re-run executed cells: %r" % warm
+        assert warm["from_dataset"] == cells, warm
+        assert warm_table == cold_table, "warm table diverged from cold"
+
+        query = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "query",
+                "manifest=%s" % manifest.short_id,
+                "--dataset-dir",
+                root,
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if query.returncode != 0:
+            raise SystemExit(
+                "repro query returned %d (no rows?)\n%s%s"
+                % (query.returncode, query.stdout, query.stderr)
+            )
+        rows = [line for line in query.stdout.splitlines() if line.strip()]
+        assert len(rows) == cells, query.stdout
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    print(
+        "manifest smoke: %s (%s) cold %d executed -> warm 0 executed, "
+        "%d from dataset, query returned %d row(s)"
+        % (manifest.name, manifest.short_id, cold["executed"],
+           warm["from_dataset"], len(rows))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -87,7 +87,15 @@ def render_figure1(data, title="Figure 1: user-mode vs full-system simulation"):
 # ---------------------------------------------------------------------------
 
 
-def figure2(arch=ARM, platform=None, harness=None, scale=1.0, runner=None, strict=True):
+def figure2(
+    arch=ARM,
+    platform=None,
+    harness=None,
+    scale=1.0,
+    runner=None,
+    strict=True,
+    dataset=None,
+):
     """Relative SPEC-proxy performance across the QEMU version sweep.
 
     Returns ``{"versions": [...], "series": {name: [speedups]}}`` with
@@ -96,10 +104,13 @@ def figure2(arch=ARM, platform=None, harness=None, scale=1.0, runner=None, stric
 
     ``strict=False`` keeps going past failed cells (their speedups are
     NaN) instead of raising -- see :meth:`VersionSweep.run_many`.
+    With ``dataset=`` the sweep resolves cells from an experiment
+    dataset (:mod:`repro.exp`) and only executes what is missing; the
+    output is identical either way.
     """
     if platform is None:
         platform = _default_env(arch)[1]
-    sweep = VersionSweep(arch, platform, harness=harness, runner=runner)
+    sweep = VersionSweep(arch, platform, harness=harness, runner=runner, dataset=dataset)
     all_series = {}
     by_scale = {}
     for workload in SPEC_PROXIES:
@@ -196,15 +207,25 @@ def figure5():
 # ---------------------------------------------------------------------------
 
 
-def figure6(arch=ARM, platform=None, harness=None, scale=1.0, runner=None, strict=True):
+def figure6(
+    arch=ARM,
+    platform=None,
+    harness=None,
+    scale=1.0,
+    runner=None,
+    strict=True,
+    dataset=None,
+):
     """SimBench speedups per category across the QEMU version sweep.
 
     Returns ``{"versions": [...], "panels": {group: {bench: [speedups]}}}``.
-    ``strict=False`` keeps going past failed cells (NaN speedups).
+    ``strict=False`` keeps going past failed cells (NaN speedups);
+    ``dataset=`` resolves cells from an experiment dataset as in
+    :func:`figure2`.
     """
     if platform is None:
         platform = _default_env(arch)[1]
-    sweep = VersionSweep(arch, platform, harness=harness, runner=runner)
+    sweep = VersionSweep(arch, platform, harness=harness, runner=runner, dataset=dataset)
     grid = []
     for group in GROUPS:
         for benchmark in benchmarks_in_group(group):
@@ -233,7 +254,7 @@ def figure6(arch=ARM, platform=None, harness=None, scale=1.0, runner=None, stric
 # ---------------------------------------------------------------------------
 
 
-def figure7(harness=None, scale=1.0, runner=None):
+def figure7(harness=None, scale=1.0, runner=None, dataset=None):
     """The full cross-simulator results table (modeled seconds).
 
     Returns ``{"arm": {sim: {bench: seconds|None}}, "x86": {...}}``
@@ -242,10 +263,17 @@ def figure7(harness=None, scale=1.0, runner=None):
 
     The whole table is submitted to the experiment runner as one flat
     grid, so with ``runner=ExperimentRunner(jobs=N)`` every cell of
-    both guest architectures executes in parallel.
+    both guest architectures executes in parallel.  With ``dataset=``
+    cells already in the experiment dataset are priced from their
+    stored records (zero guest instructions) and only missing cells
+    execute.
     """
     if runner is None:
         runner = ExperimentRunner(harness=harness)
+    if dataset is not None:
+        from repro.exp.resolver import DatasetResolver
+
+        runner = DatasetResolver(runner, dataset)
     grid = []
     specs = []
     for arch, platform, simulators in (
@@ -289,16 +317,29 @@ def figure8(
     figure6_data=None,
     runner=None,
     strict=True,
+    dataset=None,
 ):
     """Geomean speedup of the SPEC proxies and of SimBench across the
     QEMU version sweep (both baselined at v1.7.0)."""
     if figure2_data is None:
         figure2_data = figure2(
-            arch, platform, harness=harness, scale=scale, runner=runner, strict=strict
+            arch,
+            platform,
+            harness=harness,
+            scale=scale,
+            runner=runner,
+            strict=strict,
+            dataset=dataset,
         )
     if figure6_data is None:
         figure6_data = figure6(
-            arch, platform, harness=harness, scale=scale, runner=runner, strict=strict
+            arch,
+            platform,
+            harness=harness,
+            scale=scale,
+            runner=runner,
+            strict=strict,
+            dataset=dataset,
         )
     versions = figure2_data["versions"]
     spec = figure2_data["series"]["SPEC (overall)"]
@@ -311,6 +352,82 @@ def figure8(
     for index in range(len(versions)):
         simbench.append(geomean(series[index] for series in bench_series))
     return {"versions": versions, "series": {"SPEC": spec, "SimBench": simbench}}
+
+
+# ---------------------------------------------------------------------------
+# Figure manifests: the declarative form of the experiment grids above
+# ---------------------------------------------------------------------------
+
+
+def figure_manifest(number, arch=ARM, scale=0.5):
+    """The declarative manifest for a figure's experiment grid.
+
+    The returned :class:`repro.exp.manifest.Manifest` expands to
+    exactly the cells ``figureN`` submits (same engines, benchmarks and
+    iteration counts, hence the same structural fingerprints), so
+    running it populates an experiment dataset from which
+    ``figureN(dataset=...)`` regenerates the figure without executing a
+    single guest instruction.  The bundled manifests under
+    ``repro/exp/manifests/`` are these payloads rendered to TOML at the
+    default ``scale=0.5``.
+    """
+    from repro.core.suite import slugify
+    from repro.exp.manifest import Manifest
+
+    sweep_engines = [{"sweep": "qemu-versions"}]
+
+    def _grid(arch, engines, benchmarks):
+        _, platform = _default_env(arch)
+        return {
+            "arch": arch.name,
+            "platform": platform.name,
+            "engines": engines,
+            "benchmarks": benchmarks,
+        }
+
+    def _figure6_benchmarks(arch):
+        return [
+            slugify(benchmark.name)
+            for group in GROUPS
+            for benchmark in benchmarks_in_group(group)
+            if benchmark.effective(arch)
+        ]
+
+    if number == 2:
+        grids = [_grid(arch, sweep_engines, ["spec-proxies"])]
+        description = "SPEC-proxy speedups across the QEMU version sweep"
+    elif number == 6:
+        grids = [_grid(arch, sweep_engines, _figure6_benchmarks(arch))]
+        description = "per-category SimBench speedups across the QEMU version sweep"
+    elif number == 7:
+        grids = [
+            _grid(ARM, list(ARM_SIMULATORS), ["suite"]),
+            _grid(X86, list(X86_SIMULATORS), ["suite"]),
+        ]
+        description = "the main cross-simulator results table"
+    elif number == 8:
+        grids = [
+            _grid(arch, sweep_engines, ["spec-proxies"]),
+            _grid(arch, sweep_engines, _figure6_benchmarks(arch)),
+        ]
+        description = "geomean SPEC vs SimBench speedups across versions"
+    else:
+        raise ValueError(
+            "no manifest for figure %r (figures 2, 6, 7 and 8 are grid-backed)"
+            % (number,)
+        )
+    return Manifest(
+        {
+            "manifest": {
+                "schema": 1,
+                "name": "figure%d" % number,
+                "description": description,
+                "seed": 0,
+            },
+            "runner": {"scale": scale},
+            "grid": grids,
+        }
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@ and parallelise the executions.
 
 from repro.core.harness import Harness, TimingPolicy
 from repro.core.runner import ExperimentRunner, JobSpec
+from repro.exp.resolver import DatasetResolver
 from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
 from repro.sim.spec import DBTSpec
 
@@ -50,13 +51,25 @@ class SweepSeries:
 class VersionSweep:
     """Runs benchmarks/workloads across the QEMU version timeline."""
 
-    def __init__(self, arch, platform, versions=QEMU_VERSIONS, harness=None, runner=None):
+    def __init__(
+        self,
+        arch,
+        platform,
+        versions=QEMU_VERSIONS,
+        harness=None,
+        runner=None,
+        dataset=None,
+    ):
         self.arch = arch
         self.platform = platform
         self.versions = tuple(versions)
         if runner is None:
             harness = harness if harness is not None else Harness(timing=TimingPolicy.MODELED)
             runner = ExperimentRunner(harness=harness)
+        if dataset is not None:
+            # Resolve sweep cells from the experiment dataset first;
+            # only missing structural groups execute (and get appended).
+            runner = DatasetResolver(runner, dataset)
         self.runner = runner
         self.harness = runner.harness
         # One engine spec per version, built up front: the whole sweep

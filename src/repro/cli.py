@@ -20,6 +20,12 @@ Commands
     Sweep one benchmark across the QEMU version timeline.
 ``cache stats|clear``
     Inspect or empty an experiment result cache directory.
+``manifest run|show|diff``
+    Run, describe or compare declarative experiment manifests (bundled
+    names like ``figure7``/``smoke``, or TOML/JSON paths).
+``query EXPR``
+    Query the experiment dataset, e.g.
+    ``repro query 'engine=qemu-dbt arch=arm bench=tlb-*'``.
 ``metrics``
     Run an observability sweep (suite x engines x arches) and print the
     per-benchmark x per-engine breakdown plus phase timings.
@@ -48,6 +54,16 @@ from repro.core import (
     SUITE,
     TimingPolicy,
     get_benchmark,
+)
+from repro.exp import (
+    Dataset,
+    DatasetResolver,
+    ManifestError,
+    QueryError,
+    bundled_manifests,
+    parse_query,
+    resolve_manifest,
+    run_manifest,
 )
 from repro.obs.export import (
     breakdown,
@@ -170,6 +186,14 @@ def _add_runner_options(parser):
         "guest-visible counters are unaffected)",
     )
     parser.add_argument(
+        "--dataset-dir",
+        default=None,
+        help="experiment dataset directory; cells already in the "
+        "dataset are priced from their stored records (zero guest "
+        "instructions) and new cells are appended with provenance "
+        "(modeled timing only); query it with `repro query`",
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         default=None,
@@ -232,12 +256,12 @@ def _environment(args):
     return harness, arch, platform
 
 
-def _runner_for(args, harness=None):
+def _runner_for(args, harness=None, wrap_dataset=True):
     cache = None
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
         cache = ResultCache(cache_dir)
-    return ExperimentRunner(
+    runner = ExperimentRunner(
         harness=harness,
         jobs=getattr(args, "jobs", 1) or 1,
         cache=cache,
@@ -246,17 +270,29 @@ def _runner_for(args, harness=None):
         code_cache_dir=getattr(args, "code_cache_dir", None),
         chunk_size=getattr(args, "chunk_size", 0),
     )
+    dataset_dir = getattr(args, "dataset_dir", None)
+    if wrap_dataset and dataset_dir:
+        runner = DatasetResolver(runner, Dataset(dataset_dir))
+    return runner
 
 
 def _report_runner(args, runner):
-    if (getattr(args, "jobs", 1) or 1) > 1 or getattr(args, "cache_dir", None):
+    if (
+        (getattr(args, "jobs", 1) or 1) > 1
+        or getattr(args, "cache_dir", None)
+        or getattr(args, "dataset_dir", None)
+    ):
         stats = runner.last_stats
         if stats:
-            print(
-                "runner: %d jobs -> %d unique, %d cache hits, %d executed"
-                % (stats["jobs"], stats["unique"], stats["cache_hits"], stats["executed"]),
-                file=sys.stderr,
+            line = "runner: %d jobs -> %d unique, %d cache hits, %d executed" % (
+                stats["jobs"],
+                stats["unique"],
+                stats["cache_hits"],
+                stats["executed"],
             )
+            if stats.get("from_dataset"):
+                line += ", %d from dataset" % stats["from_dataset"]
+            print(line, file=sys.stderr)
     stats = runner.last_stats
     fault_counts = [
         (name, stats.get(name, 0))
@@ -548,7 +584,146 @@ def _cmd_cache(args):
             removed = store.clear()
             print("removed %d code-cache entries from %s"
                   % (removed, args.code_cache_dir))
+    if args.dataset_dir:
+        dataset = Dataset(args.dataset_dir)
+        if args.action == "stats":
+            stats = dataset.stats()
+            print("dataset %s" % stats["root"])
+            print("  entries: %d" % stats["entries"])
+            print("  bytes:   %d" % stats["bytes"])
+            print("  schema:  %s" % stats["schema"])
+            _print_store_totals(stats)
+        else:
+            removed = dataset.clear()
+            print("removed %d dataset rows from %s" % (removed, args.dataset_dir))
     return 0
+
+
+def _resolve_manifest_arg(ref):
+    try:
+        return resolve_manifest(ref)
+    except ManifestError as exc:
+        raise _CliError(str(exc)) from None
+
+
+def _cmd_manifest(args):
+    if args.action == "diff":
+        if not args.other:
+            raise _CliError("manifest diff needs two manifests")
+        mine = _resolve_manifest_arg(args.manifest)
+        theirs = _resolve_manifest_arg(args.other)
+        delta = mine.diff(theirs)
+        print(
+            "%s (%s) vs %s (%s): %d common cell(s)"
+            % (mine.name, mine.short_id, theirs.name, theirs.short_id, delta["common"])
+        )
+        for label, cells in (("only in %s" % theirs.name, delta["added"]),
+                             ("only in %s" % mine.name, delta["removed"])):
+            if not cells:
+                continue
+            print("%s: %d cell(s)" % (label, len(cells)))
+            for cell in cells:
+                print(
+                    "  %s  %-28s %-10s [%s/%s] x%d"
+                    % (
+                        cell["cell"][:12],
+                        cell["benchmark"],
+                        cell["engine"],
+                        cell["arch"],
+                        cell["platform"],
+                        cell["iterations"],
+                    )
+                )
+        return 0
+
+    manifest = _resolve_manifest_arg(args.manifest)
+    if args.action == "show":
+        info = manifest.describe()
+        print("manifest %s (%s)" % (info["name"], info["id"]))
+        if info["description"]:
+            print("  %s" % info["description"])
+        print("  schema:  %d   seed: %s" % (info["schema"], info["seed"]))
+        print("  runner:  %s" % (info["runner"] or "(defaults)"))
+        print(
+            "  grids:   %d -> %d cell(s), %d unique"
+            % (info["grids"], info["cells"], info["unique_cells"])
+        )
+        if args.cells:
+            for cell_id, spec in manifest.cells():
+                print(
+                    "  %s  %-28s %-10s [%s/%s] x%d"
+                    % (
+                        cell_id[:12],
+                        spec.benchmark.name,
+                        spec.engine_spec.engine,
+                        spec.arch.name,
+                        spec.platform.name,
+                        spec.iterations,
+                    )
+                )
+        return 0
+
+    # action == "run"
+    _metrics_begin(args)
+    dataset = Dataset(args.dataset_dir) if args.dataset_dir else None
+    with _runner_for(args, wrap_dataset=False) as runner:
+        result = run_manifest(manifest, runner, dataset=dataset)
+        stats = result.stats
+        # Activity reporting belongs on stderr (like the runner line),
+        # so cold and warm stdout captures diff clean.
+        print(
+            "manifest %s (%s): %d cell(s) -> %d executed, %d from dataset, "
+            "%d cache hit(s), %d appended"
+            % (
+                manifest.name,
+                manifest.short_id,
+                stats.get("jobs", 0),
+                stats.get("executed", 0),
+                stats.get("from_dataset", 0),
+                stats.get("cache_hits", 0),
+                stats.get("dataset_appended", 0),
+            ),
+            file=sys.stderr,
+        )
+        _report_runner(args, result.runner)
+        _metrics_finish(
+            args,
+            result.runner,
+            meta={"manifest": manifest.name, "manifest_id": manifest.manifest_id()},
+        )
+        return _failure_summary(args, result.runner)
+
+
+def _cmd_query(args):
+    try:
+        query = parse_query(" ".join(args.expr))
+    except QueryError as exc:
+        raise _CliError(str(exc)) from None
+    dataset = Dataset(args.dataset_dir)
+    rows = dataset.rows(query)
+    for row in rows:
+        record = row.get("record") or {}
+        delta = record.get("kernel_delta") or {}
+        print(
+            "%s  %-28s %-10s [%s/%s] x%-6d %-12s insns=%s"
+            % (
+                row["cell"][:12],
+                row["benchmark"],
+                row["engine"],
+                row["arch"],
+                row["platform"],
+                row["iterations"],
+                row["status"],
+                delta.get("instructions", "-"),
+            )
+        )
+    quarantined = dataset.quarantined
+    summary = "%d row(s)" % len(rows)
+    if quarantined:
+        summary += " (%d corrupt row(s) quarantined)" % quarantined
+        dataset.fold_totals()
+    print(summary, file=sys.stderr)
+    return 0 if rows else 1
 
 
 def _cmd_metrics(args):
@@ -737,6 +912,48 @@ def build_parser():
         default=None,
         help="also report/clear the persistent DBT code cache at this path",
     )
+    p_cache.add_argument(
+        "--dataset-dir",
+        default=None,
+        help="also report/clear the experiment dataset at this path "
+        "(stats include quarantined corrupt-row counts)",
+    )
+
+    p_manifest = sub.add_parser(
+        "manifest",
+        help="run, describe or diff declarative experiment manifests",
+    )
+    p_manifest.add_argument("action", choices=["run", "show", "diff"])
+    p_manifest.add_argument(
+        "manifest",
+        help="bundled manifest name (%s) or a TOML/JSON path"
+        % ", ".join(sorted(bundled_manifests()) or ["none bundled"]),
+    )
+    p_manifest.add_argument(
+        "other", nargs="?", default=None, help="second manifest (diff only)"
+    )
+    p_manifest.add_argument(
+        "--cells",
+        action="store_true",
+        help="with `show`: list every expanded cell id",
+    )
+    _add_runner_options(p_manifest)
+    # A manifest run is resumable by default: its cells land in (and
+    # resolve from) the working-directory dataset unless redirected.
+    p_manifest.set_defaults(dataset_dir=".repro-dataset")
+
+    p_query = sub.add_parser(
+        "query",
+        help="query the experiment dataset "
+        "(e.g. 'engine=qemu-dbt arch=arm bench=tlb-*')",
+    )
+    p_query.add_argument(
+        "expr",
+        nargs="*",
+        help="whitespace-ANDed KEY OP VALUE terms; ops = != < <= > >=; "
+        "string matches are case-insensitive globs; empty = all rows",
+    )
+    p_query.add_argument("--dataset-dir", default=".repro-dataset")
 
     p_metrics = sub.add_parser(
         "metrics",
@@ -787,6 +1004,8 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "manifest": _cmd_manifest,
+    "query": _cmd_query,
     "metrics": _cmd_metrics,
     "detect": _cmd_detect,
     "report": _cmd_report,

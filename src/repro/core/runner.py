@@ -574,6 +574,11 @@ class ExperimentRunner:
         self._pool_stats = self._fresh_pool_stats()
         #: Counters for the last :meth:`run` call.
         self.last_stats = {}
+        #: Raw :class:`ExecutionRecord` per execution key for the last
+        #: :meth:`run` call -- the unpriced half of the results, which
+        #: dataset-backed callers (:mod:`repro.exp`) persist alongside
+        #: their provenance stamps.
+        self.last_records = {}
         #: Per-job observability rows for the last :meth:`run` call.
         self.last_jobs = []
         #: Job rows accumulated across every :meth:`run` call on this
@@ -779,13 +784,23 @@ class ExperimentRunner:
                 else (self._ewma_job_ns + mean) // 2
             )
 
+        self.last_records = records
+
         # Per-job observability rows, in submission order.  The first
         # spec of each execution group carries the group's source and
         # timings; structurally-identical repeats are ``dedup`` rows.
+        # Every row carries its ``cell_id`` -- the job's structural
+        # fingerprint, shared with the result cache and the experiment
+        # dataset (:mod:`repro.exp`) -- so telemetry rows join against
+        # dataset rows by key.
         seen = set()
+        fingerprints = {}
         rows = []
         for spec in specs:
             key = spec.execution_key()
+            cell_id = fingerprints.get(key)
+            if cell_id is None:
+                cell_id = fingerprints[key] = spec.fingerprint()
             if key in seen:
                 source, info = "dedup", _fresh_job_info()
             else:
@@ -800,6 +815,7 @@ class ExperimentRunner:
                     "iterations": spec.iterations,
                     "status": records[key].status,
                     "source": source,
+                    "cell_id": cell_id,
                     "wall_ns": info["wall_ns"],
                     "queue_wait_ns": info["queue_wait_ns"],
                     "attempts": info["attempts"],

@@ -1,4 +1,14 @@
-"""The SimBench suite registry (Figure 3's inventory)."""
+"""The SimBench suite registry (Figure 3's inventory).
+
+Besides the canonical Figure 3 names, every benchmark (and SPEC proxy
+workload) is addressable by a *slug* -- lowercase, dash-separated
+(``TLB Eviction`` -> ``tlb-eviction``) -- which is what experiment
+manifests and ``repro query`` predicates use: slugs survive shells,
+TOML keys and glob patterns without quoting.  :func:`find_benchmarks`
+resolves names, slugs and ``fnmatch`` globs over both registries.
+"""
+
+from fnmatch import fnmatchcase
 
 from repro.core.benchmarks import (
     ColdMemoryAccess,
@@ -68,4 +78,42 @@ def benchmarks_in_group(group):
     found = [bench for bench in SUITE if bench.group == group]
     if not found:
         raise KeyError("unknown group %r (known: %s)" % (group, ", ".join(GROUPS)))
+    return found
+
+
+def slugify(name):
+    """The manifest/query slug of a benchmark name (``TLB Flush`` ->
+    ``tlb-flush``)."""
+    return "-".join(name.lower().split())
+
+
+def all_benchmarks():
+    """Every named runnable: the suite plus the SPEC proxy workloads,
+    in registry order (the domain of :func:`find_benchmarks` and of
+    the experiment-runner's name resolution)."""
+    from repro.workloads import SPEC_PROXIES
+
+    return tuple(SUITE) + tuple(SPEC_PROXIES)
+
+
+def find_benchmarks(pattern):
+    """Benchmarks/workloads whose name or slug matches ``pattern``.
+
+    ``pattern`` is matched case-insensitively as an ``fnmatch`` glob
+    against both the canonical name and the slug, so ``tlb-*``,
+    ``TLB *`` and ``tlb-flush`` all resolve.  Returns matches in
+    registry order; raises :class:`KeyError` when nothing matches.
+    """
+    lowered = pattern.lower()
+    found = [
+        bench
+        for bench in all_benchmarks()
+        if fnmatchcase(bench.name.lower(), lowered)
+        or fnmatchcase(slugify(bench.name), lowered)
+    ]
+    if not found:
+        raise KeyError(
+            "no benchmark or workload matches %r (e.g. %s)"
+            % (pattern, ", ".join(slugify(b.name) for b in SUITE[:3]))
+        )
     return found

@@ -1,0 +1,144 @@
+"""The append-only, provenance-stamped experiment result dataset.
+
+A :class:`Dataset` accumulates one row per *cell* -- a (benchmark,
+engine structure, arch, platform, iterations) point -- keyed by the
+same structural fingerprint the result cache uses
+(:meth:`repro.core.runner.JobSpec.fingerprint`).  Rows are:
+
+- **append-only**: the first write of a cell wins; re-running a
+  manifest never rewrites history (a cell whose inputs change gets a
+  *new* fingerprint and therefore a new row);
+- **provenance-stamped**: every row records the git revision, host,
+  interpreter, spec/cost schema tag, manifest id and seed that
+  produced it (:mod:`repro.exp.provenance`);
+- **queryable**: :meth:`Dataset.rows` evaluates a
+  :class:`repro.exp.query.Query` over a full scan, and
+  ``repro query 'engine=qemu-dbt arch=arm bench=tlb-*'`` exposes the
+  same engine on the command line.
+
+Storage rides :class:`repro.storage.DirectoryStore`, so rows get the
+same two-level fan-out, atomic writes, and corrupt-entry quarantine
+(skipped, unlinked, counted -- surfaced in ``repro cache stats
+--dataset-dir``) as the result cache and the DBT code store.  Failure
+rows (``crashed``/``timeout``/``error``) are never appended, so a
+failed cell re-executes on the next manifest run.
+"""
+
+import json
+import os
+
+from repro.core.suite import slugify
+from repro.storage import DirectoryStore
+
+#: Bump when the row shape changes incompatibly.
+DATASET_SCHEMA = 1
+
+#: Keys every row must decode with; anything less is a corrupt entry
+#: and gets quarantined rather than crashing a query.
+_REQUIRED_KEYS = (
+    "schema",
+    "cell",
+    "benchmark",
+    "engine",
+    "arch",
+    "platform",
+    "iterations",
+    "status",
+    "record",
+)
+
+#: Statuses worth persisting: completed cells and known engine
+#: limitations.  Failures are transient by policy -- parity with the
+#: result cache, which never stores them either.
+STORABLE_STATUSES = ("ok", "unsupported")
+
+
+def make_row(spec, record, provenance=None, manifest=None):
+    """One dataset row for an executed job.
+
+    ``spec`` is the :class:`~repro.core.runner.JobSpec` that ran,
+    ``record`` its :class:`~repro.core.harness.ExecutionRecord`.  The
+    engine ships as its registry name plus the defaults-stripped field
+    delta (:meth:`~repro.sim.spec.EngineSpec.delta_payload`), so the
+    row is self-contained: a view can rebuild the exact spec and price
+    the record under any cost table.
+    """
+    delta = spec.engine_spec.delta_payload()
+    return {
+        "schema": DATASET_SCHEMA,
+        "cell": spec.fingerprint(),
+        "manifest": manifest,
+        "benchmark": spec.benchmark.name,
+        "bench_slug": slugify(spec.benchmark.name),
+        "engine": spec.engine_spec.engine,
+        "engine_fields": delta["fields"],
+        "arch": spec.arch.name,
+        "platform": spec.platform.name,
+        "iterations": spec.iterations,
+        "status": record.status,
+        "record": record.to_payload(),
+        "provenance": provenance or {},
+    }
+
+
+class Dataset(DirectoryStore):
+    """On-disk dataset of provenance-stamped execution rows."""
+
+    metrics_name = "dataset"
+
+    def _read_entry(self, path):
+        with open(path, "r", encoding="utf-8") as fh:
+            row = json.load(fh)
+        if not isinstance(row, dict):
+            raise ValueError("dataset row is not an object")
+        for key in _REQUIRED_KEYS:
+            if key not in row:
+                raise KeyError(key)
+        return row
+
+    def _write_entry(self, fd, row):
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    def contains(self, cell_id):
+        """Whether a row exists for ``cell_id`` (no decode, no counters)."""
+        return os.path.exists(self._path(cell_id))
+
+    def append(self, row):
+        """Append one row (keyed by its ``cell`` fingerprint).
+
+        Append-only: if the cell already has a row, the existing row is
+        kept untouched and ``False`` is returned -- history never gets
+        rewritten by a re-run.
+        """
+        cell_id = row["cell"]
+        if self.contains(cell_id):
+            return False
+        self.put(cell_id, row)
+        return True
+
+    def remove(self, cell_id):
+        """Delete one row (the resumability escape hatch: a removed
+        cell is simply re-executed by the next manifest run)."""
+        try:
+            os.unlink(self._path(cell_id))
+        except OSError:
+            return False
+        return True
+
+    def rows(self, query=None):
+        """Every row matching ``query`` (all rows when ``None``), in
+        deterministic (sorted cell id) order.  Corrupt rows are
+        quarantined by the shared :meth:`~repro.storage.DirectoryStore.scan`
+        path, never returned and never fatal."""
+        out = []
+        for _key, row in self.scan():
+            if query is None or query.match(row):
+                out.append(row)
+        return out
+
+    def stats(self):
+        stats = DirectoryStore.stats(self)
+        stats["schema"] = DATASET_SCHEMA
+        return stats

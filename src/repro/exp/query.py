@@ -1,0 +1,160 @@
+"""The dataset predicate query grammar.
+
+A query is a whitespace-separated conjunction of ``key OP value``
+terms, the shape of::
+
+    engine=qemu-dbt arch=arm bench=tlb-*
+    status!=ok iterations>=400 manifest=9f3a*
+    fields.tlb_bits=7 'bench=TLB *'
+
+- ``=`` / ``!=`` match strings case-insensitively as ``fnmatch`` globs
+  (so ``tlb-*`` works as expected); for id-like keys (``cell``,
+  ``manifest``) a plain prefix also matches, so the short ids printed
+  by the CLI are directly pasteable;
+- ``<`` / ``<=`` / ``>`` / ``>=`` compare numerically;
+- quoting (shell rules, via :mod:`shlex`) protects values containing
+  spaces; all terms AND together.
+
+Keys address row columns (``bench``/``benchmark`` matches both the
+canonical name and the slug), ``fields.<name>`` reaches into the
+engine's field delta, and ``rev``/``seed``/``schema`` reach the
+provenance stamp.  Unknown keys are an error at parse time -- a typo'd
+key must not silently match nothing.
+"""
+
+import shlex
+from fnmatch import fnmatchcase
+
+
+class QueryError(ValueError):
+    """Malformed query text or a type-invalid comparison."""
+
+
+#: Keys whose values are matched by glob *or* plain prefix (long
+#: content hashes, pasteable as the short forms the CLI prints).
+_PREFIX_KEYS = ("cell", "manifest", "rev")
+
+#: Recognised plain keys -> how to extract the comparable value(s)
+#: from a row.  Every extractor returns a list of candidates; a term
+#: matches when any candidate does.
+_EXTRACTORS = {
+    "bench": lambda row: [row.get("benchmark"), row.get("bench_slug")],
+    "benchmark": lambda row: [row.get("benchmark"), row.get("bench_slug")],
+    "engine": lambda row: [row.get("engine")],
+    "arch": lambda row: [row.get("arch")],
+    "platform": lambda row: [row.get("platform")],
+    "status": lambda row: [row.get("status")],
+    "iterations": lambda row: [row.get("iterations")],
+    "cell": lambda row: [row.get("cell")],
+    "manifest": lambda row: [row.get("manifest")],
+    "schema": lambda row: [row.get("schema")],
+    "rev": lambda row: [(row.get("provenance") or {}).get("git_rev")],
+    "seed": lambda row: [(row.get("provenance") or {}).get("seed")],
+}
+
+#: Two-character operators first, so ``>=`` never parses as ``>``.
+_OPERATORS = (">=", "<=", "!=", ">", "<", "=")
+
+
+class Term:
+    """One ``key OP value`` predicate."""
+
+    __slots__ = ("key", "op", "value")
+
+    def __init__(self, key, op, value):
+        self.key = key
+        self.op = op
+        self.value = value
+
+    def _match_one(self, candidate):
+        if self.op in ("=", "!="):
+            hit = self._textual(candidate)
+            return not hit if self.op == "!=" else hit
+        return self._numeric(candidate)
+
+    def _textual(self, candidate):
+        if candidate is None:
+            return self.value.lower() in ("none", "null")
+        text = str(candidate).lower()
+        pattern = self.value.lower()
+        if fnmatchcase(text, pattern):
+            return True
+        return self.key in _PREFIX_KEYS and text.startswith(pattern)
+
+    def _numeric(self, candidate):
+        try:
+            left = float(candidate)
+            right = float(self.value)
+        except (TypeError, ValueError):
+            return False
+        if self.op == ">":
+            return left > right
+        if self.op == "<":
+            return left < right
+        if self.op == ">=":
+            return left >= right
+        return left <= right
+
+    def match(self, row):
+        if self.key.startswith("fields."):
+            candidates = [
+                (row.get("engine_fields") or {}).get(self.key[len("fields.") :])
+            ]
+        else:
+            candidates = _EXTRACTORS[self.key](row)
+        return any(self._match_one(candidate) for candidate in candidates)
+
+    def __repr__(self):
+        return "Term(%s%s%s)" % (self.key, self.op, self.value)
+
+
+class Query:
+    """A conjunction of :class:`Term` (an empty query matches all)."""
+
+    def __init__(self, terms):
+        self.terms = tuple(terms)
+
+    def match(self, row):
+        return all(term.match(row) for term in self.terms)
+
+    def __repr__(self):
+        return "Query(%s)" % " ".join(map(repr, self.terms))
+
+
+def parse_query(text):
+    """Parse query text into a :class:`Query`.
+
+    Raises :class:`QueryError` on malformed terms, unknown keys or
+    unquotable input -- never returns a silently-empty predicate.
+    """
+    try:
+        words = shlex.split(text or "")
+    except ValueError as exc:
+        raise QueryError("unparseable query: %s" % exc) from None
+    terms = []
+    for word in words:
+        for op in _OPERATORS:
+            key, sep, value = word.partition(op)
+            if sep:
+                break
+        if not sep or not key or not value:
+            raise QueryError(
+                "malformed term %r (expected KEY OP VALUE with OP one of %s)"
+                % (word, ", ".join(_OPERATORS))
+            )
+        key = key.strip()
+        if key not in _EXTRACTORS and not key.startswith("fields."):
+            raise QueryError(
+                "unknown query key %r (known: %s, fields.<name>)"
+                % (key, ", ".join(sorted(_EXTRACTORS)))
+            )
+        if op in (">", "<", ">=", "<="):
+            try:
+                float(value)
+            except ValueError:
+                raise QueryError(
+                    "numeric comparison %r needs a numeric value, got %r"
+                    % (op, value)
+                ) from None
+        terms.append(Term(key, op, value.strip()))
+    return Query(terms)

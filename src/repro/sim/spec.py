@@ -221,6 +221,21 @@ class EngineSpec:
         cls = spec_class_for(payload["engine"])
         return cls(**payload.get("fields", {}))
 
+    @staticmethod
+    def from_delta_payload(payload):
+        """Rebuild a spec from :meth:`delta_payload` output.
+
+        The named inverse of the compact transport/manifest form:
+        omitted fields take their declared defaults, so
+        ``from_delta_payload(spec.delta_payload())`` reproduces
+        ``spec`` exactly -- same structural key, same cache
+        fingerprint, same full payload.  (Mechanically identical to
+        :meth:`from_payload`, which already default-fills; this alias
+        exists so manifest/wire code states which format it consumes,
+        and so the round-trip is pinned by its own tests.)
+        """
+        return EngineSpec.from_payload(payload)
+
     def replace(self, **kwargs):
         """A copy with the given fields replaced (re-validated)."""
         fields = self._values()

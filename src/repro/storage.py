@@ -108,6 +108,33 @@ class DirectoryStore:
         self._record("hits")
         return value
 
+    def scan(self):
+        """Iterate every decodable entry as ``(key, value)`` pairs.
+
+        The shared full-store read path (dataset queries, audits).
+        Corrupt entries get exactly the :meth:`get` treatment --
+        quarantined (unlinked, counted, mirrored to metrics) rather
+        than aborting the scan or being silently skipped -- so a bad
+        row costs one scan, not every future one.  Entries are yielded
+        in sorted key order, so scans are deterministic.
+        """
+        for path in self._entry_paths():
+            name = os.path.basename(path)
+            key = name[: -len(self.suffix)] if self.suffix else name
+            try:
+                value = self._read_entry(path)
+            except OSError:
+                continue  # raced with a concurrent quarantine/clear
+            except self.decode_errors:
+                self.quarantined += 1
+                self._record("quarantined")
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            yield key, value
+
     def put(self, key, value):
         """Store a value atomically (write to a temp file, then rename)."""
         path = self._path(key)

@@ -89,6 +89,28 @@ class TestPayloadRoundTrip:
         assert clone.cache_key_payload() == spec.cache_key_payload()
 
     @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_delta_payload_rebuild_preserves_structural_key(self, engine):
+        """The manifest transport contract: delta_payload -> rebuild via
+        from_delta_payload is a structural identity for every registry
+        engine, so manifest-declared engines hash to the same cells as
+        programmatically built ones."""
+        spec = spec_for(engine)
+        clone = EngineSpec.from_delta_payload(spec.delta_payload())
+        assert clone == spec
+        assert clone.structural_key() == spec.structural_key()
+        assert clone.cache_key_payload() == spec.cache_key_payload()
+
+    def test_delta_payload_rebuild_with_non_default_fields(self):
+        for spec in (
+            DBTSpec.from_config(dbt_config_for_version("v2.5.0-rc2", "arm")),
+            DBTSpec(tlb_bits=7, chain_enabled=False),
+            InterpSpec(tlb_capacity=16),
+        ):
+            clone = EngineSpec.from_delta_payload(spec.delta_payload())
+            assert clone == spec
+            assert clone.structural_key() == spec.structural_key()
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
     @pytest.mark.parametrize("arch", [ARM, X86], ids=["arm", "x86"])
     def test_cost_model_under_both_arch_profiles(self, engine, arch):
         spec = EngineSpec.from_payload(spec_for(engine).to_payload())

@@ -143,6 +143,114 @@ class TestRunnerOptions:
         assert "entries: 0" in capsys.readouterr().out
 
 
+class TestManifestCommand:
+    def _write_tiny(self, tmp_path):
+        from repro.exp import Manifest
+
+        manifest = Manifest(
+            {
+                "manifest": {"schema": 1, "name": "cli-tiny", "seed": 0},
+                "runner": {"scale": 0.02},
+                "grid": [
+                    {
+                        "arch": "arm",
+                        "platform": "vexpress",
+                        "engines": ["simit"],
+                        "benchmarks": ["tlb-*"],
+                    }
+                ],
+            }
+        )
+        path = tmp_path / "tiny.toml"
+        path.write_text(manifest.to_toml())
+        return str(path), manifest
+
+    def test_show_bundled(self, capsys):
+        assert main(["manifest", "show", "smoke", "--cells"]) == 0
+        out = capsys.readouterr().out
+        assert "manifest smoke" in out
+        assert "TLB Flush" in out
+
+    def test_run_twice_second_executes_nothing(self, tmp_path, capsys):
+        path, _ = self._write_tiny(tmp_path)
+        dataset_dir = str(tmp_path / "ds")
+        args = ["manifest", "run", path, "--dataset-dir", dataset_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "2 executed" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "0 executed" in warm.err
+        assert "2 from dataset" in warm.err
+        # Result tables (stdout) diff clean between cold and warm runs.
+        assert warm.out == cold.out
+
+    def test_diff(self, capsys):
+        assert main(["manifest", "diff", "smoke", "figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "0 common cell(s)" in out
+        assert "only in figure7" in out
+
+    def test_diff_needs_two(self, capsys):
+        assert main(["manifest", "diff", "smoke"]) == 2
+        assert "two manifests" in capsys.readouterr().err
+
+    def test_unknown_manifest_exits_2(self, capsys):
+        assert main(["manifest", "show", "no-such"]) == 2
+        assert "bundled" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    def _populate(self, tmp_path, capsys):
+        dataset_dir = str(tmp_path / "ds")
+        manifest_path, manifest = TestManifestCommand()._write_tiny(tmp_path)
+        assert main(["manifest", "run", manifest_path,
+                     "--dataset-dir", dataset_dir]) == 0
+        capsys.readouterr()
+        return dataset_dir
+
+    def test_query_matches(self, tmp_path, capsys):
+        dataset_dir = self._populate(tmp_path, capsys)
+        assert main(["query", "engine=simit", "bench=tlb-*",
+                     "--dataset-dir", dataset_dir]) == 0
+        captured = capsys.readouterr()
+        assert "TLB Flush" in captured.out
+        assert "2 row(s)" in captured.err
+
+    def test_query_no_match_exits_1(self, tmp_path, capsys):
+        dataset_dir = self._populate(tmp_path, capsys)
+        assert main(["query", "engine=gem5", "--dataset-dir", dataset_dir]) == 1
+        assert "0 row(s)" in capsys.readouterr().err
+
+    def test_query_parse_error_exits_2(self, tmp_path, capsys):
+        assert main(["query", "bogus=1",
+                     "--dataset-dir", str(tmp_path / "ds")]) == 2
+        assert "unknown query key" in capsys.readouterr().err
+
+    def test_cache_stats_covers_dataset(self, tmp_path, capsys):
+        dataset_dir = self._populate(tmp_path, capsys)
+        assert main(["cache", "stats", "--dataset-dir", dataset_dir]) == 0
+        out = capsys.readouterr().out
+        assert "dataset %s" % dataset_dir in out
+        assert "entries: 2" in out
+        assert "quarantined" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path / "nope"),
+                     "--dataset-dir", dataset_dir]) == 0
+        assert "removed 2 dataset rows" in capsys.readouterr().out
+
+    def test_suite_with_dataset_dir(self, tmp_path, capsys):
+        dataset_dir = str(tmp_path / "ds")
+        args = ["suite", "--sim", "simit", "--scale", "0.05",
+                "--dataset-dir", dataset_dir]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "0 executed" in second.err
+        assert "from dataset" in second.err
+        assert first.out == second.out
+
+
 class TestFigureCommand:
     def test_figure1(self, capsys):
         assert main(["figure", "1"]) == 0
