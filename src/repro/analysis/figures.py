@@ -122,7 +122,10 @@ def figure2(
     overall = []
     for index in range(len(versions)):
         overall.append(
-            geomean(series.speedups()[index] for series in all_series.values())
+            geomean(
+                (series.speedups()[index] for series in all_series.values()),
+                strict=strict,
+            )
         )
     return {
         "versions": versions,
@@ -350,7 +353,9 @@ def figure8(
         for speedups in panel.values()
     ]
     for index in range(len(versions)):
-        simbench.append(geomean(series[index] for series in bench_series))
+        simbench.append(
+            geomean((series[index] for series in bench_series), strict=strict)
+        )
     return {"versions": versions, "series": {"SPEC": spec, "SimBench": simbench}}
 
 
@@ -491,7 +496,13 @@ def render_series(figure_data, title="", width=9):
     for index, version in enumerate(versions):
         row = "%-12s" % version
         for name in series:
-            row += "%*.3f" % (width + 2, series[name][index])
+            value = series[name][index]
+            if value is None or value != value:
+                # Failed cell under a non-strict sweep: render a gap,
+                # keeping the rest of the column aligned and readable.
+                row += "%*s" % (width + 2, "--")
+            else:
+                row += "%*.3f" % (width + 2, value)
         lines.append(row)
     return "\n".join(lines)
 

@@ -3,9 +3,25 @@
 import math
 
 
-def geomean(values):
-    """Geometric mean of positive values; raises on empty/non-positive."""
+def geomean(values, strict=True):
+    """Geometric mean of positive values.
+
+    ``strict=True`` (the default) raises on an empty sequence or any
+    non-positive value -- analysis code passing garbage should hear
+    about it.  ``strict=False`` is the failure-tolerant form for
+    partially-failed sweeps: ``None``, NaN and non-positive entries
+    (failed cells) are dropped, and if nothing usable remains the
+    result is NaN -- a marked gap, never a traceback.
+    """
     values = list(values)
+    if not strict:
+        values = [
+            value
+            for value in values
+            if value is not None and math.isfinite(value) and value > 0
+        ]
+        if not values:
+            return float("nan")
     if not values:
         raise ValueError("geomean of empty sequence")
     total = 0.0
@@ -27,13 +43,24 @@ def speedups_vs_baseline(times_by_key, baseline_key):
     return {key: baseline / time for key, time in times_by_key.items()}
 
 
-def weighted_geomean_speedup(series_by_name, baseline_index=0):
+def _usable_time(value):
+    return value is not None and math.isfinite(value) and value > 0
+
+
+def weighted_geomean_speedup(series_by_name, baseline_index=0, strict=True):
     """Per-index geometric-mean speedup across several named series.
 
     ``series_by_name`` maps names to equal-length lists of times; the
     result is a list of geomean speedups, one per index, relative to
     each series' own value at ``baseline_index`` (the paper's "overall
     SPEC rating" construction).
+
+    ``strict=False`` tolerates failed cells (NaN/None/non-positive
+    times): a series whose *baseline* cell failed falls back to its
+    first usable cell, a failed point contributes no ratio at that
+    index, and an index with no usable ratios at all comes out NaN --
+    so a partially-failed sweep still yields an overall curve with
+    gaps instead of a ZeroDivisionError.
     """
     names = list(series_by_name)
     if not names:
@@ -42,11 +69,25 @@ def weighted_geomean_speedup(series_by_name, baseline_index=0):
     for name in names:
         if len(series_by_name[name]) != length:
             raise ValueError("series %r has mismatched length" % name)
+    baselines = {}
+    for name in names:
+        series = series_by_name[name]
+        base = series[baseline_index]
+        if strict or _usable_time(base):
+            baselines[name] = base
+        else:
+            baselines[name] = next(
+                (value for value in series if _usable_time(value)), float("nan")
+            )
     result = []
     for index in range(length):
         ratios = []
         for name in names:
             series = series_by_name[name]
-            ratios.append(series[baseline_index] / series[index])
-        result.append(geomean(ratios))
+            if not strict and not (
+                _usable_time(baselines[name]) and _usable_time(series[index])
+            ):
+                continue
+            ratios.append(baselines[name] / series[index])
+        result.append(geomean(ratios, strict=strict))
     return result

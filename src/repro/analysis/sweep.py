@@ -15,11 +15,29 @@ job per (benchmark, version) and lets the runner deduplicate, cache
 and parallelise the executions.
 """
 
+import math
+
 from repro.core.harness import Harness, TimingPolicy
 from repro.core.runner import ExperimentRunner, JobSpec
 from repro.exp.resolver import DatasetResolver
 from repro.sim.dbt.versions import QEMU_VERSIONS, dbt_config_for_version
 from repro.sim.spec import DBTSpec
+
+
+def version_axis(arch_name, versions=None):
+    """The ordered ``(version, DBTSpec)`` axis of the simulated QEMU
+    release history -- the default input to
+    :class:`repro.attrib.bisect.BisectAxis`."""
+    versions = QEMU_VERSIONS if versions is None else tuple(versions)
+    return tuple(
+        (version, DBTSpec.from_config(dbt_config_for_version(version, arch_name)))
+        for version in versions
+    )
+
+
+def _usable_seconds(value):
+    """True for a cell that can serve as a speedup numerator/baseline."""
+    return value is not None and math.isfinite(value) and value > 0
 
 
 class SweepSeries:
@@ -40,9 +58,24 @@ class SweepSeries:
         self.failures = tuple(failures)
 
     def speedups(self, baseline_index=0):
-        """Speedup of each version relative to the baseline version."""
+        """Speedup of each version relative to the baseline version.
+
+        A failed cell (NaN seconds under a non-strict sweep) yields a
+        NaN ratio for *that point only*.  When the baseline cell itself
+        failed, the first usable cell stands in as baseline, so one bad
+        version cannot poison every ratio in the series (or divide by
+        zero); only with no usable cell at all is the whole series NaN.
+        """
         base = self.seconds[baseline_index]
-        return tuple(base / value for value in self.seconds)
+        if not _usable_seconds(base):
+            base = next(
+                (value for value in self.seconds if _usable_seconds(value)),
+                float("nan"),
+            )
+        return tuple(
+            base / value if _usable_seconds(value) else float("nan")
+            for value in self.seconds
+        )
 
     def __repr__(self):
         return "SweepSeries(%s, %d versions)" % (self.name, len(self.versions))
@@ -74,10 +107,26 @@ class VersionSweep:
         self.harness = runner.harness
         # One engine spec per version, built up front: the whole sweep
         # is described before anything executes.
-        self.engine_specs = {
-            version: DBTSpec.from_config(dbt_config_for_version(version, arch.name))
-            for version in self.versions
-        }
+        self.engine_specs = dict(version_axis(arch.name, self.versions))
+
+    def axis(self):
+        """The ordered ``(version, spec)`` steps of this sweep -- the
+        bisection-ready view of the version timeline."""
+        return tuple((version, self.engine_specs[version]) for version in self.versions)
+
+    def spec_deltas(self):
+        """Field-level changes at each version boundary.
+
+        Returns ``((prev_version, version, {field: (before, after)}),
+        ...)`` for every adjacent pair whose specs differ -- the "what
+        did this release change" table behind a bisection verdict.
+        """
+        deltas = []
+        for prev, current in zip(self.versions, self.versions[1:]):
+            diff = self.engine_specs[prev].diff(self.engine_specs[current])
+            if diff:
+                deltas.append((prev, current, diff))
+        return tuple(deltas)
 
     def _structural_groups(self):
         groups = {}

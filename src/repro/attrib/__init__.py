@@ -1,0 +1,31 @@
+"""Regression bisection and single-feature attribution.
+
+The regression-*hunting* layer on top of the experiment stack: an
+ordered axis of engine specs (the simulated QEMU version history, or
+any list of spec payloads), a noise-aware binary search for the step
+that moves a metric (:mod:`repro.attrib.bisect`), and ablation-
+validated attribution kernels that tie a cost cliff to exactly one
+structural spec field (:mod:`repro.attrib.ablate`,
+:mod:`repro.core.benchmarks.attribution`).
+"""
+
+from repro.attrib.ablate import AblationReport, validate_attribution
+from repro.attrib.bisect import (
+    BisectAxis,
+    BisectProbeError,
+    BisectResult,
+    Bisector,
+    Metric,
+    parse_metric,
+)
+
+__all__ = [
+    "AblationReport",
+    "BisectAxis",
+    "BisectProbeError",
+    "BisectResult",
+    "Bisector",
+    "Metric",
+    "parse_metric",
+    "validate_attribution",
+]

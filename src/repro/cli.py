@@ -18,6 +18,12 @@ Commands
     Regenerate one of the paper's figures/tables (2-8).
 ``sweep BENCHMARK``
     Sweep one benchmark across the QEMU version timeline.
+``bisect``
+    Binary-search the QEMU version axis (or a spec axis from
+    ``--axis-file``) for the step that changes a metric; with
+    ``--field`` the probe is that field's attribution kernel, and
+    ``--validate`` checks the kernel's single-feature claim by
+    ablation.
 ``cache stats|clear``
     Inspect or empty an experiment result cache directory.
 ``manifest run|show|diff``
@@ -544,6 +550,151 @@ def _cmd_sweep(args):
     return _failure_summary(args, runner)
 
 
+def _cmd_bisect(args):
+    import json
+
+    from repro.attrib import (
+        BisectAxis,
+        BisectProbeError,
+        Bisector,
+        validate_attribution,
+    )
+    from repro.core.benchmarks.attribution import (
+        ATTRIBUTION_KERNELS,
+        attribution_kernel,
+    )
+    from repro.core.runner import resolve_benchmark
+
+    engine = args.engine
+    if args.list_fields:
+        for name, spec_class in SPEC_CLASSES.items():
+            if engine and name != engine:
+                continue
+            pairs = spec_class.bisectable_fields()
+            if not pairs:
+                continue
+            print("%s:" % name)
+            for field, (low, high) in pairs.items():
+                kernel = ATTRIBUTION_KERNELS.get((name, field))
+                print(
+                    "  %-18s %r vs %r%s"
+                    % (
+                        field,
+                        low,
+                        high,
+                        "   [kernel: %s, %s]" % (kernel.name, kernel.cliff_metric)
+                        if kernel
+                        else "",
+                    )
+                )
+        return 0
+
+    arch = get_arch(args.arch)
+    platform = get_platform(args.platform or _default_platform(args.arch))
+    harness = Harness(timing=TimingPolicy.MODELED)
+    engine = engine or "qemu-dbt"
+
+    if args.validate:
+        if not args.field:
+            raise _CliError("--validate needs --field")
+        _metrics_begin(args)
+        runner = _runner_for(args, harness)
+        try:
+            report = validate_attribution(
+                engine,
+                args.field,
+                arch,
+                platform,
+                runner=runner,
+                iterations=args.iterations,
+                tolerance=args.tolerance,
+            )
+        except KeyError as exc:
+            raise _CliError(str(exc).strip("'\"")) from None
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        else:
+            print("\n".join(report.summary()))
+        _report_runner(args, runner)
+        _metrics_finish(args, runner, meta={"field": args.field})
+        return 0 if report.passed else 1
+
+    # -- bisection --
+    if args.field:
+        try:
+            benchmark = attribution_kernel(engine, args.field)
+        except KeyError as exc:
+            raise _CliError(str(exc).strip("'\"")) from None
+        metric = args.metric or benchmark.cliff_metric
+    elif args.benchmark:
+        try:
+            benchmark = resolve_benchmark(args.benchmark)
+        except KeyError as exc:
+            raise _CliError(str(exc).strip("'\"")) from None
+        metric = args.metric or "seconds"
+    else:
+        raise _CliError("bisect needs --benchmark or --field (or --list-fields)")
+
+    if args.axis_file:
+        try:
+            with open(args.axis_file) as handle:
+                payloads = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise _CliError("unreadable --axis-file: %s" % exc) from None
+        if not isinstance(payloads, list):
+            raise _CliError("--axis-file must hold a JSON list of axis steps")
+        try:
+            axis = BisectAxis.from_payloads(payloads)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _CliError("bad axis: %s" % exc) from None
+    else:
+        axis = BisectAxis.qemu_versions(args.arch)
+
+    _metrics_begin(args)
+    runner = _runner_for(args, harness)
+    try:
+        bisector = Bisector(
+            runner,
+            axis,
+            benchmark,
+            arch,
+            platform,
+            metric,
+            iterations=args.iterations,
+            repeats=args.repeats,
+            rel_threshold=args.threshold,
+            abs_threshold=args.abs_threshold,
+            probe_retries=args.probe_retries,
+        )
+    except ValueError as exc:
+        raise _CliError(str(exc)) from None
+    print(
+        "bisecting %s on %s (%s guest, %d steps: %s .. %s)"
+        % (
+            metric,
+            benchmark.name,
+            arch.name,
+            len(axis),
+            axis.labels[0],
+            axis.labels[-1],
+        ),
+        file=sys.stderr,
+    )
+    try:
+        result = bisector.run()
+    except BisectProbeError as exc:
+        print("bisect aborted: %s" % exc, file=sys.stderr)
+        _metrics_finish(args, runner, meta={"metric": metric})
+        return EXIT_GRID_FAILURES
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print("\n".join(result.summary()))
+    _report_runner(args, runner)
+    _metrics_finish(args, runner, meta={"metric": metric, "status": result.status})
+    return 0 if result.status in ("found", "no-change") else 1
+
+
 def _print_store_totals(stats):
     # Session counters of a freshly opened store are always zero; the
     # meaningful numbers are the persisted totals, folded in by every
@@ -904,6 +1055,100 @@ def build_parser():
     _add_env_options(p_sweep)
     _add_runner_options(p_sweep)
 
+    p_bisect = sub.add_parser(
+        "bisect",
+        help="binary-search a spec axis for a metric regression, or "
+        "validate a single-feature attribution kernel",
+    )
+    p_bisect.add_argument(
+        "--benchmark",
+        default=None,
+        help="probe benchmark/workload by name (any registered benchmark)",
+    )
+    p_bisect.add_argument(
+        "--field",
+        default=None,
+        help="structural spec field to attribute; probes with that "
+        "field's attribution kernel (see --list-fields)",
+    )
+    p_bisect.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(SPEC_CLASSES),
+        help="engine whose fields --field/--validate/--list-fields "
+        "refer to (default: qemu-dbt)",
+    )
+    p_bisect.add_argument(
+        "--metric",
+        default=None,
+        help="'seconds', 'fields.<counter>', or either with a "
+        "comparison (e.g. 'fields.tlb_misses >= 1000'); default: "
+        "seconds for --benchmark, the kernel's cliff metric for --field",
+    )
+    p_bisect.add_argument(
+        "--axis-file",
+        default=None,
+        metavar="PATH",
+        help="JSON list of axis steps (spec delta payloads, or "
+        "{label, spec} objects); default: the QEMU version timeline",
+    )
+    p_bisect.add_argument("--iterations", type=int, default=None)
+    p_bisect.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="measurements per probe; their spread feeds the noise "
+        "threshold (default: 1 -- modeled timing is deterministic)",
+    )
+    p_bisect.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative change below which endpoints count as equal "
+        "(default: 0.05)",
+    )
+    p_bisect.add_argument(
+        "--abs-threshold",
+        type=float,
+        default=0.0,
+        help="absolute metric change floor for the same test (default: 0)",
+    )
+    p_bisect.add_argument(
+        "--probe-retries",
+        type=int,
+        default=2,
+        help="re-executions of a failed (flaky) probe before aborting "
+        "(default: 2)",
+    )
+    p_bisect.add_argument(
+        "--validate",
+        action="store_true",
+        help="instead of bisecting, ablation-validate --field's "
+        "attribution kernel (exit 0 pass, 1 fail)",
+    )
+    p_bisect.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="with --validate: allowed drift from toggling other "
+        "fields, as a fraction of the cliff span (default: 0.25)",
+    )
+    p_bisect.add_argument(
+        "--list-fields",
+        action="store_true",
+        help="list bisectable structural fields (and their kernels) "
+        "per engine, then exit",
+    )
+    p_bisect.add_argument(
+        "--json", action="store_true", help="print the verdict as JSON"
+    )
+    p_bisect.add_argument("--arch", default="arm", choices=sorted(ARCHES))
+    p_bisect.add_argument("--platform", default=None, choices=sorted(PLATFORMS))
+    _add_runner_options(p_bisect)
+    # Probes are worth keeping: they land in (and re-resolve from) the
+    # working-directory dataset, so a warm re-bisect executes nothing.
+    p_bisect.set_defaults(dataset_dir=".repro-dataset")
+
     p_cache = sub.add_parser("cache", help="inspect or clear a result cache")
     p_cache.add_argument("action", choices=["stats", "clear"])
     p_cache.add_argument("--cache-dir", default=".repro-cache")
@@ -1003,6 +1248,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
+    "bisect": _cmd_bisect,
     "cache": _cmd_cache,
     "manifest": _cmd_manifest,
     "query": _cmd_query,

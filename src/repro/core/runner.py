@@ -99,18 +99,22 @@ def structural_key(simulator, dbt_config=None, sim_kwargs=None):
 def resolve_benchmark(name):
     """Resolve a benchmark/workload by name across every registry.
 
-    Searches the SimBench suite, the extension suite and the SPEC proxy
-    workloads -- the inverse of ``benchmark.name`` for everything a
-    :class:`JobSpec` payload may reference.
+    Searches the SimBench suite, the extension suite, the attribution
+    kernels and the SPEC proxy workloads -- the inverse of
+    ``benchmark.name`` for everything a :class:`JobSpec` payload may
+    reference.
     """
     try:
         return get_benchmark(name)
     except KeyError:
         pass
+    from repro.core.benchmarks.attribution import ATTRIBUTION_SUITE
     from repro.core.benchmarks.extensions import EXTENSION_SUITE
     from repro.workloads import SPEC_PROXIES
 
-    for benchmark in tuple(EXTENSION_SUITE) + tuple(SPEC_PROXIES):
+    for benchmark in (
+        tuple(EXTENSION_SUITE) + tuple(ATTRIBUTION_SUITE) + tuple(SPEC_PROXIES)
+    ):
         if benchmark.name == name:
             return benchmark
     raise KeyError("unknown benchmark or workload %r" % name)
@@ -366,6 +370,7 @@ def _warm_registries():
     first chunk does not pay the engine/benchmark/workload registry
     imports inside its timed window."""
     from repro.arch import get_arch  # noqa: F401  (import-time registry)
+    from repro.core.benchmarks.attribution import ATTRIBUTION_SUITE  # noqa: F401
     from repro.core.benchmarks.extensions import EXTENSION_SUITE  # noqa: F401
     from repro.platform import get_platform  # noqa: F401
     from repro.sim.spec import SPEC_CLASSES  # noqa: F401

@@ -82,10 +82,13 @@ class Term:
         return self.key in _PREFIX_KEYS and text.startswith(pattern)
 
     def _numeric(self, candidate):
+        # A non-numeric cell value (status strings, missing counters,
+        # ints beyond float range) skips this candidate -- one odd row
+        # must never kill the whole query.
         try:
             left = float(candidate)
             right = float(self.value)
-        except (TypeError, ValueError):
+        except (TypeError, ValueError, OverflowError):
             return False
         if self.op == ">":
             return left > right

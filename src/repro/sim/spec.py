@@ -134,6 +134,13 @@ class EngineSpec:
     fields = ()
     #: Guest architectures the engine appears under in the main table.
     evaluated_archs = ("arm", "x86")
+    #: ``{field_name: (low, high)}`` ablation pairs for structural
+    #: fields: the two settings the attribution/bisection machinery
+    #: toggles between.  ``low`` is the setting expected to make a
+    #: field-sensitive kernel *slower* (fewer TLB entries, chaining
+    #: off, shorter blocks); ``high`` the faster one.  Fields without a
+    #: pair here are not bisectable.
+    ablations = {}
 
     def __init__(self, **kwargs):
         cls = type(self)
@@ -220,6 +227,48 @@ class EngineSpec:
         """Rebuild a spec from :meth:`to_payload` output (identity)."""
         cls = spec_class_for(payload["engine"])
         return cls(**payload.get("fields", {}))
+
+    @classmethod
+    def structural_fields(cls):
+        """The declared structural :class:`Field` objects, in order."""
+        return tuple(f for f in cls.fields if f.kind == Field.STRUCTURAL)
+
+    @classmethod
+    def bisectable_fields(cls):
+        """Structural fields with a declared ablation pair.
+
+        These are the single features the attribution machinery can
+        isolate: each has two settings (:attr:`ablations`) that a
+        field-sensitive kernel's cost cliff separates.  Returns
+        ``{name: (low, high)}`` in declaration order.
+        """
+        return {
+            f.name: cls.ablations[f.name]
+            for f in cls.structural_fields()
+            if f.name in cls.ablations
+        }
+
+    def diff(self, other):
+        """Field-level delta between two specs of the same engine.
+
+        Returns ``{field: (mine, theirs)}`` for every declared field
+        whose values differ -- the "what changed between these two
+        versions" primitive the bisection report is built on.  Specs of
+        different engines have no common field vocabulary and raise
+        :class:`ValueError`.
+        """
+        if type(other) is not type(self):
+            raise ValueError(
+                "cannot diff %r against %r: different engines have no "
+                "common field vocabulary" % (self.engine, getattr(other, "engine", other))
+            )
+        out = {}
+        for field in type(self).fields:
+            mine = getattr(self, field.name)
+            theirs = getattr(other, field.name)
+            if mine != theirs:
+                out[field.name] = (mine, theirs)
+        return out
 
     @staticmethod
     def from_delta_payload(payload):
@@ -354,6 +403,18 @@ class DBTSpec(EngineSpec):
         Field("version", None, Field.META),
         Field("memoize", True, Field.HOST),
     )
+    #: Toggle pairs for single-feature attribution.  ``tlb_bits``
+    #: mirrors the simulated QEMU history's one structural change
+    #: (7 -> 8 across the v2.0.0 boundary); the rest are the knobs the
+    #: paper's microbenchmarks were designed to separate.
+    ablations = {
+        "chain_enabled": (False, True),
+        "chain_cross_page": (False, True),
+        "max_block_insns": (16, 64),
+        "tlb_bits": (7, 8),
+        "tcache_capacity": (4096, 16384),
+        "asid_tagged": (False, True),
+    }
 
     def validate(self):
         # DBTConfig owns the range checks; building one validates them.
@@ -427,6 +488,11 @@ class InterpSpec(EngineSpec):
         Field("asid_tagged", False),
         Field("use_block_cache", True, Field.HOST),
     )
+    ablations = {
+        "tlb_capacity": (64, 256),
+        "use_decode_cache": (False, True),
+        "asid_tagged": (False, True),
+    }
 
     def cost_model(self, arch=None):
         return interp_cost_model()

@@ -1,0 +1,102 @@
+"""Regression tests: strict=False failure paths in the analysis layer.
+
+A partially-failed sweep (NaN cells, an all-failed version, a failed
+*baseline*) must degrade to marked gaps -- NaN points, ``--`` cells in
+rendered tables -- never to ZeroDivisionError, ValueError, or a
+poisoned series.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import render_series
+from repro.analysis.stats import geomean, weighted_geomean_speedup
+from repro.analysis.sweep import SweepSeries
+
+NAN = float("nan")
+
+
+def series(seconds, name="bench"):
+    versions = ["v%d" % index for index in range(len(seconds))]
+    return SweepSeries(name, "group", versions, seconds)
+
+
+class TestSpeedupsWithFailedCells:
+    def test_failed_point_is_nan_only_there(self):
+        speedups = series([2.0, NAN, 1.0]).speedups()
+        assert speedups[0] == 1.0
+        assert math.isnan(speedups[1])
+        assert speedups[2] == 2.0
+
+    def test_failed_baseline_falls_back_to_first_usable_cell(self):
+        # The baseline version crashed: ratios are re-anchored on the
+        # first usable cell instead of poisoning the whole series.
+        speedups = series([NAN, 4.0, 2.0]).speedups()
+        assert math.isnan(speedups[0])
+        assert speedups[1] == 1.0
+        assert speedups[2] == 2.0
+
+    def test_zero_second_baseline_does_not_divide_by_zero(self):
+        speedups = series([0.0, 4.0, 2.0]).speedups()
+        assert math.isnan(speedups[0])
+        assert speedups[1] == 1.0
+
+    def test_all_failed_series_is_all_nan(self):
+        assert all(math.isnan(v) for v in series([NAN, NAN]).speedups())
+
+
+class TestGeomeanStrictness:
+    def test_strict_still_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_non_strict_drops_failed_values(self):
+        assert geomean([NAN, 2.0, 8.0], strict=False) == pytest.approx(4.0)
+        assert geomean([None, -3.0, 2.0, 8.0], strict=False) == pytest.approx(4.0)
+
+    def test_non_strict_empty_is_nan_not_traceback(self):
+        assert math.isnan(geomean([], strict=False))
+        assert math.isnan(geomean([NAN, -1.0], strict=False))
+
+
+class TestWeightedGeomeanSpeedup:
+    def test_failed_baseline_cell_does_not_poison_every_ratio(self):
+        data = {"a": [NAN, 2.0, 1.0], "b": [4.0, 4.0, 2.0]}
+        overall = weighted_geomean_speedup(data, strict=False)
+        # Series "a" re-anchors on its first usable cell (2.0).
+        assert overall[1] == pytest.approx(1.0)
+        assert overall[2] == pytest.approx(2.0)
+        # Index 0 only has series "b"'s ratio.
+        assert overall[0] == pytest.approx(1.0)
+
+    def test_zero_baseline_cell_does_not_zerodivide(self):
+        data = {"a": [0.0, 2.0, 1.0]}
+        overall = weighted_geomean_speedup(data, strict=False)
+        assert math.isnan(overall[0])
+        assert overall[2] == pytest.approx(2.0)
+
+    def test_all_failed_index_is_nan(self):
+        data = {"a": [1.0, NAN], "b": [1.0, NAN]}
+        overall = weighted_geomean_speedup(data, strict=False)
+        assert overall[0] == pytest.approx(1.0)
+        assert math.isnan(overall[1])
+
+    def test_strict_mode_unchanged(self):
+        with pytest.raises(ZeroDivisionError):
+            weighted_geomean_speedup({"a": [1.0, 0.0]})
+
+
+class TestRenderingGaps:
+    def test_nan_cells_render_as_gaps(self):
+        data = {
+            "versions": ["v1", "v2"],
+            "series": {"bench": [1.0, NAN]},
+        }
+        text = render_series(data, title="Figure 8")
+        lines = text.splitlines()
+        assert "1.000" in lines[2]
+        assert "--" in lines[3]
+        assert "nan" not in text

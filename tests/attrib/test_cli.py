@@ -1,0 +1,97 @@
+"""CLI tests for ``repro bisect``."""
+
+import json
+
+from repro.cli import main
+
+
+def _bisect(tmp_path, *extra):
+    return main(
+        [
+            "bisect",
+            "--dataset-dir",
+            str(tmp_path / "ds"),
+            "--iterations",
+            "4",
+            *extra,
+        ]
+    )
+
+
+class TestListFields:
+    def test_lists_bisectable_fields_and_kernels(self, capsys):
+        assert main(["bisect", "--list-fields"]) == 0
+        out = capsys.readouterr().out
+        assert "qemu-dbt:" in out and "simit:" in out
+        assert "tlb_bits" in out
+        assert "Attrib TLB Bits" in out
+        # Bisectable but kernel-less fields still appear.
+        assert "tcache_capacity" in out
+
+
+class TestBisectCommand:
+    def test_field_bisect_names_the_release_and_warms_to_zero(
+        self, tmp_path, capsys
+    ):
+        assert _bisect(tmp_path, "--field", "tlb_bits") == 0
+        cold = capsys.readouterr().out
+        assert "v1.7.2 -> v2.0.0" in cold
+        assert "tlb_bits: 7 -> 8" in cold
+        assert "changelog:" in cold
+
+        assert _bisect(tmp_path, "--field", "tlb_bits") == 0
+        warm = capsys.readouterr().out
+        assert "executed cells: 0" in warm
+
+    def test_axis_file_with_planted_regression(self, tmp_path, capsys):
+        steps = []
+        for index in range(16):
+            fields = (
+                {"cost_overrides": {"loads": 40.0}} if index >= 9 else {}
+            )
+            steps.append(
+                {
+                    "label": "step-%02d" % index,
+                    "spec": {"engine": "qemu-dbt", "fields": fields},
+                }
+            )
+        axis_file = tmp_path / "axis.json"
+        axis_file.write_text(json.dumps(steps))
+        code = _bisect(
+            tmp_path,
+            "--benchmark",
+            "Attrib TLB Bits",
+            "--axis-file",
+            str(axis_file),
+            "--json",
+        )
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["status"] == "found"
+        assert verdict["last_good"] == "step-08"
+        assert verdict["first_bad"] == "step-09"
+        assert verdict["executed_cells"] <= 5
+
+    def test_validate_passes_for_shipped_kernel(self, tmp_path, capsys):
+        assert _bisect(tmp_path, "--validate", "--field", "chain_enabled") == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_usage_errors_exit_2(self, tmp_path, capsys):
+        assert _bisect(tmp_path) == 2
+        assert "--benchmark or --field" in capsys.readouterr().err
+        assert _bisect(tmp_path, "--field", "warp_drive") == 2
+        assert "no attribution kernel" in capsys.readouterr().err
+        assert _bisect(tmp_path, "--validate") == 2
+        assert "--validate needs --field" in capsys.readouterr().err
+        assert (
+            _bisect(tmp_path, "--benchmark", "no-such-benchmark-anywhere") == 2
+        )
+
+    def test_bad_axis_file_exits_2(self, tmp_path, capsys):
+        axis_file = tmp_path / "axis.json"
+        axis_file.write_text("{\"not\": \"a list\"}")
+        code = _bisect(
+            tmp_path, "--benchmark", "System Call", "--axis-file", str(axis_file)
+        )
+        assert code == 2
+        assert "JSON list" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Attribution-kernel tests: every shipped kernel passes ablation
+validation (the single-feature claim), the generator's error surface,
+and the registration contract (resolvable by name, but not part of the
+paper's Figure 3 inventory).
+"""
+
+import pytest
+
+from repro.arch import ARM
+from repro.attrib import validate_attribution
+from repro.core.benchmarks.attribution import (
+    ATTRIBUTION_KERNELS,
+    ATTRIBUTION_SUITE,
+    attribution_kernel,
+)
+from repro.core.harness import Harness, TimingPolicy
+from repro.core.runner import ExperimentRunner, resolve_benchmark
+from repro.core.suite import SUITE
+from repro.platform import VEXPRESS
+from repro.sim.spec import SPEC_CLASSES
+
+
+class TestRegistry:
+    def test_every_kernel_resolves_by_name(self):
+        for kernel in ATTRIBUTION_SUITE:
+            assert resolve_benchmark(kernel.name) is kernel
+
+    def test_kernels_stay_out_of_the_figure3_inventory(self):
+        suite_names = {bench.name for bench in SUITE}
+        for kernel in ATTRIBUTION_SUITE:
+            assert kernel.name not in suite_names
+
+    def test_kernels_target_declared_bisectable_fields(self):
+        for (engine, field), kernel in ATTRIBUTION_KERNELS.items():
+            assert field in SPEC_CLASSES[engine].bisectable_fields()
+            assert kernel.cliff_metric.startswith("fields.")
+
+    def test_unknown_field_raises_listing_available(self):
+        with pytest.raises(KeyError, match="qemu-dbt:tlb_bits"):
+            attribution_kernel("qemu-dbt", "branch_predictor")
+        with pytest.raises(KeyError, match="available"):
+            attribution_kernel("gem5", "tlb_bits")
+
+
+class TestAblationValidation:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        with ExperimentRunner(
+            harness=Harness(timing=TimingPolicy.MODELED)
+        ) as runner:
+            yield runner
+
+    @pytest.mark.parametrize(
+        "engine,field",
+        sorted(ATTRIBUTION_KERNELS),
+        ids=["%s-%s" % pair for pair in sorted(ATTRIBUTION_KERNELS)],
+    )
+    def test_every_shipped_kernel_passes_ablation(self, runner, engine, field):
+        report = validate_attribution(
+            engine, field, ARM, VEXPRESS, runner=runner, iterations=8
+        )
+        assert report.passed, report.summary()
+        # The cliff is decisive and the isolation margin is real.
+        assert report.cliff_ratio >= 2.0
+        for name, (_setting, _value, drift) in report.others.items():
+            assert drift <= 0.25, (name, drift)
+
+    def test_report_serialises(self, runner):
+        report = validate_attribution(
+            "qemu-dbt", "tlb_bits", ARM, VEXPRESS, runner=runner, iterations=8
+        )
+        payload = report.as_dict()
+        assert payload["passed"] is True
+        assert payload["field"] == "tlb_bits"
+        assert set(payload["others"]) == {
+            "chain_enabled",
+            "chain_cross_page",
+            "max_block_insns",
+            "tcache_capacity",
+            "asid_tagged",
+        }
+
+    def test_failed_cliff_is_reported_not_raised(self, runner):
+        # A kernel insensitive to its claimed field must FAIL loudly:
+        # validate the block-length kernel against a field it cannot
+        # see by lying about the pairing through a low tolerance and a
+        # huge ratio requirement.
+        report = validate_attribution(
+            "qemu-dbt",
+            "tlb_bits",
+            ARM,
+            VEXPRESS,
+            runner=runner,
+            iterations=8,
+            min_cliff_ratio=10_000.0,
+        )
+        assert not report.passed
+        assert any("does not cross the cliff" in f for f in report.failures)
