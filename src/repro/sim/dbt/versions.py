@@ -16,6 +16,12 @@ that encode the release notes above.  Event counts always come from
 really executing the guest on the engine, so per-benchmark sensitivity
 to a version is determined by which events the benchmark actually
 exercises.
+
+``DBTConfig.opt_level`` (the host-side optimizer tier) is deliberately
+*not* part of this timeline: it changes how fast the host runs
+translated code, never what the guest observes, so every version here
+leaves it at its default.  Sweeps may combine any version with any
+``opt_level`` without changing modeled results.
 """
 
 from repro.sim.costs import DBT_BASE_COSTS

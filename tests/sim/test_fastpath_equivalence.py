@@ -68,6 +68,19 @@ class TestToggleEquivalence:
         off = _observe(harness, bench, arch_name, spec_for("qemu-dbt", memoize=False))
         assert on == off
 
+    def test_dbt_opt_levels(self, harness, bench, arch_name):
+        # The optimizer tier (peephole passes at 1, superblocks at 2)
+        # rearranges host code only: every guest-visible counter and
+        # the modeled time must be bit-identical across levels.
+        TRANSLATION_MEMO.clear()
+        base = _observe(harness, bench, arch_name, spec_for("qemu-dbt", opt_level=0))
+        for level in (1, 2):
+            TRANSLATION_MEMO.clear()
+            opt = _observe(
+                harness, bench, arch_name, spec_for("qemu-dbt", opt_level=level)
+            )
+            assert opt == base, "opt_level=%d diverged" % level
+
     def test_metrics_toggle(self, harness, bench, arch_name):
         # The observability layer records host-side phases/counters
         # only: guest-visible counters and modeled time must be
@@ -116,6 +129,17 @@ class TestHostFieldNeutrality:
         off = spec_for("qemu-dbt", memoize=False)
         assert on.structural_key() == off.structural_key()
         assert on.cache_key_payload() == off.cache_key_payload()
+
+    def test_dbt_opt_level_is_host_only(self):
+        # opt_level changes how blocks are lowered, never what the
+        # guest observes -- it must not split dedup groups or result
+        # cache keys (it IS part of the translation/code-store key,
+        # which tests/sim/test_dbt_opt.py covers).
+        direct = spec_for("qemu-dbt", opt_level=0)
+        traced = spec_for("qemu-dbt", opt_level=2)
+        assert direct.structural_key() == traced.structural_key()
+        assert direct.cache_key_payload() == traced.cache_key_payload()
+        assert direct != traced
 
 
 SMC_BODY = """
