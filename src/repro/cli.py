@@ -32,6 +32,18 @@ Commands
 ``query EXPR``
     Query the experiment dataset, e.g.
     ``repro query 'engine=qemu-dbt arch=arm bench=tlb-*'``.
+``serve``
+    Run the long-lived experiment service: one warm worker pool and
+    one dataset serving manifest submissions from many clients over a
+    local socket, with per-tenant fair scheduling.  SIGTERM drains
+    gracefully (finish in-flight work, persist totals, exit 0).
+``submit MANIFEST``
+    Submit a manifest (bundled name or path) -- or an ad-hoc grid via
+    ``--adhoc`` -- to a running service; prints the job id.
+``status [JOB]``
+    Show the service queue/tenant state, or one job's progress.
+``wait JOB``
+    Block until a job finishes; prints its final summary.
 ``metrics``
     Run an observability sweep (suite x engines x arches) and print the
     per-benchmark x per-engine breakdown plus phase timings.
@@ -80,6 +92,15 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import METRICS
 from repro.platform import PLATFORMS, get_platform
+from repro.serve import (
+    DEFAULT_SLICE_SIZE,
+    DEFAULT_SOCKET,
+    ExperimentService,
+    ProtocolError,
+    ServeClient,
+    ServeError,
+    ServiceError,
+)
 from repro.sim import SIMULATOR_CLASSES
 from repro.sim.dbt.codestore import CodeStore
 from repro.sim.dbt.versions import QEMU_VERSIONS
@@ -1005,6 +1026,216 @@ def _cmd_detect(args):
     return 0
 
 
+# -- the experiment service -------------------------------------------------
+
+
+def _cmd_serve(args):
+    import signal
+
+    weights = {}
+    for item in args.tenant_weight or []:
+        tenant, sep, raw = item.partition("=")
+        if not sep or not tenant:
+            raise _CliError("--tenant-weight expects TENANT=WEIGHT, got %r" % item)
+        try:
+            weights[tenant.strip()] = int(raw)
+        except ValueError:
+            raise _CliError("--tenant-weight weight must be an int: %r" % item) from None
+    _metrics_begin(args)
+    try:
+        service = ExperimentService(
+            socket_path=args.socket,
+            dataset_dir=args.dataset_dir,
+            cache_dir=args.cache_dir,
+            code_cache_dir=args.code_cache_dir,
+            jobs=args.jobs or 1,
+            deadline=args.deadline,
+            retries=args.retries,
+            chunk_size=args.chunk_size,
+            slice_size=args.slice_size,
+            weights=weights,
+        )
+        service.start()
+    except ServiceError as exc:
+        raise _CliError(str(exc)) from None
+
+    def _drain_signal(signum, _frame):
+        print("draining (signal %d)" % signum, file=sys.stderr)
+        service.drain()
+
+    signal.signal(signal.SIGTERM, _drain_signal)
+    signal.signal(signal.SIGINT, _drain_signal)
+    print(
+        "repro serve: %d worker(s) on %s (dataset: %s)"
+        % (args.jobs or 1, args.socket, args.dataset_dir or "none"),
+        file=sys.stderr,
+    )
+    status = service.serve_forever()
+    rows = [row for job in service._jobs.values() for row in job.rows]
+    _metrics_finish(args, jobs=rows, meta={"socket": args.socket})
+    print("drained; exiting", file=sys.stderr)
+    return status
+
+
+def _serve_cmd(args, body):
+    """Run one client-side service command with uniform error
+    rendering: refused requests and missing daemons exit 1, not with a
+    traceback."""
+    client = ServeClient(args.socket, tenant=getattr(args, "tenant", None))
+    try:
+        return body(client)
+    except (ServeError, ProtocolError) as exc:
+        print("serve: %s" % exc, file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            "serve: no daemon answering on %s (%s)" % (args.socket, exc),
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _print_job_summary(info, stream=None):
+    stream = stream if stream is not None else sys.stdout
+    print(
+        "%s [%-8s] %-12s tenant=%s cells=%d slices=%d/%d "
+        "executed=%d dataset=%d cache=%d failures=%d"
+        % (
+            info["id"],
+            info["state"],
+            info["name"],
+            info["tenant"],
+            info["cells"],
+            info["slices_done"],
+            info["slices"],
+            info["executed"],
+            info["from_dataset"],
+            info["cache_hits"],
+            info["failures"],
+        ),
+        file=stream,
+    )
+    if info.get("error"):
+        print("  error: %s" % info["error"], file=stream)
+
+
+def _job_exit_status(args, info):
+    if info["state"] != "done":
+        return 1
+    if info["failures"] and not getattr(args, "keep_going", False):
+        return EXIT_GRID_FAILURES
+    return 0
+
+
+def _cmd_submit(args):
+    return _serve_cmd(args, lambda client: _do_submit(args, client))
+
+
+def _do_submit(args, client):
+    fields = {"priority": args.priority}
+    if args.adhoc:
+        grid = {
+            "arch": args.arch,
+            "engines": [name.strip() for name in args.sims.split(",") if name.strip()],
+            "benchmarks": [
+                name.strip() for name in args.benchmarks.split(",") if name.strip()
+            ],
+        }
+        if args.platform:
+            grid["platform"] = args.platform
+        if args.iterations:
+            grid["iterations"] = args.iterations
+        response = client.submit(grid=grid, name="adhoc", **fields)
+    else:
+        if not args.manifest:
+            raise _CliError("submit needs a manifest reference (or --adhoc)")
+        ref = args.manifest
+        # Ship local manifest files by payload so the daemon does not
+        # need to share our filesystem view; bundled names resolve
+        # daemon-side.
+        if os.path.exists(ref):
+            manifest = _resolve_manifest_arg(ref)
+            response = client.submit(manifest=manifest.to_payload(), **fields)
+        else:
+            response = client.submit(manifest_ref=ref, **fields)
+    print(
+        "submitted %s: %d cell(s) in %d slice(s) (manifest %s)"
+        % (
+            response["job"],
+            response["cells"],
+            response["slices"],
+            response.get("manifest") or "-",
+        ),
+        file=sys.stderr,
+    )
+    print(response["job"])
+    if not args.wait:
+        return 0
+    final = client.wait(response["job"], timeout=args.timeout)
+    _print_job_summary(final["job"], stream=sys.stderr)
+    return _job_exit_status(args, final["job"])
+
+
+def _cmd_status(args):
+    return _serve_cmd(args, lambda client: _do_status(args, client))
+
+
+def _do_status(args, client):
+    if args.drain:
+        client.drain()
+        print("drain requested", file=sys.stderr)
+        return 0
+    if args.job:
+        info = client.status(job=args.job)["job"]
+        _print_job_summary(info)
+        return 0
+    response = client.status()
+    print(
+        "serve on %s: queue depth %d, %d active tenant(s)%s"
+        % (
+            args.socket,
+            response["queue_depth"],
+            len(response["tenants"]),
+            " [draining]" if response["draining"] else "",
+        )
+    )
+    if response["states"]:
+        print(
+            "jobs: "
+            + ", ".join(
+                "%d %s" % (count, state)
+                for state, count in sorted(response["states"].items())
+            )
+        )
+    for info in response["jobs"]:
+        _print_job_summary(info)
+    return 0
+
+
+def _cmd_wait(args):
+    return _serve_cmd(args, lambda client: _do_wait(args, client))
+
+
+def _do_wait(args, client):
+    final = client.wait(args.job, timeout=args.timeout)
+    info = final["job"]
+    _print_job_summary(info)
+    if args.rows:
+        for row in final["rows"]:
+            print(
+                "  %-28s %-10s [%s/%s] %-12s %s"
+                % (
+                    row["benchmark"],
+                    row["engine"],
+                    row["arch"],
+                    row["platform"],
+                    row["status"],
+                    row.get("source", "-"),
+                )
+            )
+    return _job_exit_status(args, info)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1200,6 +1431,135 @@ def build_parser():
     )
     p_query.add_argument("--dataset-dir", default=".repro-dataset")
 
+    def _add_socket_option(sub_parser):
+        sub_parser.add_argument(
+            "--socket",
+            default=DEFAULT_SOCKET,
+            metavar="PATH",
+            help="service rendezvous socket (default: %s)" % DEFAULT_SOCKET,
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived experiment service (warm pool + "
+        "dataset behind a local socket)",
+    )
+    _add_socket_option(p_serve)
+    p_serve.add_argument(
+        "--slice-size",
+        type=int,
+        default=DEFAULT_SLICE_SIZE,
+        metavar="N",
+        help="cells per fair-scheduling slice (default: %d); smaller "
+        "slices interleave tenants finer" % DEFAULT_SLICE_SIZE,
+    )
+    p_serve.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=None,
+        metavar="TENANT=WEIGHT",
+        help="fair-share weight for a tenant (repeatable; default 1 "
+        "each): weight 3 gets three slices per round-robin cycle",
+    )
+    _add_runner_options(p_serve)
+    # The service exists to keep a dataset warm; default it on.
+    p_serve.set_defaults(dataset_dir=".repro-dataset")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a manifest or ad-hoc grid to a running service"
+    )
+    p_submit.add_argument(
+        "manifest",
+        nargs="?",
+        default=None,
+        help="bundled manifest name (%s) or a TOML/JSON path"
+        % ", ".join(sorted(bundled_manifests()) or ["none bundled"]),
+    )
+    p_submit.add_argument(
+        "--adhoc",
+        action="store_true",
+        help="submit an ad-hoc grid built from --sims/--arch/--benchmarks "
+        "instead of a manifest",
+    )
+    p_submit.add_argument(
+        "--sims",
+        default="qemu-dbt",
+        help="with --adhoc: comma-separated engines (default: qemu-dbt)",
+    )
+    p_submit.add_argument("--arch", default="arm", choices=sorted(ARCHES))
+    p_submit.add_argument("--platform", default=None, choices=sorted(PLATFORMS))
+    p_submit.add_argument(
+        "--benchmarks",
+        default="suite",
+        help="with --adhoc: comma-separated benchmark names/globs/macros "
+        "(default: suite)",
+    )
+    p_submit.add_argument("--iterations", type=int, default=None)
+    p_submit.add_argument(
+        "--tenant",
+        default=None,
+        help="client id for fair sharing (default: 'default')",
+    )
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="ordering within this tenant's share (higher first; "
+        "default 0)",
+    )
+    p_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and exit by its outcome",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --wait: bound the wait daemon-side",
+    )
+    p_submit.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="with --wait: exit 0 even when some cells failed",
+    )
+    _add_socket_option(p_submit)
+
+    p_status = sub.add_parser(
+        "status", help="show service state, or one job's progress"
+    )
+    p_status.add_argument("job", nargs="?", default=None)
+    p_status.add_argument("--tenant", default=None)
+    p_status.add_argument(
+        "--drain",
+        action="store_true",
+        help="request a graceful drain instead of reporting status",
+    )
+    _add_socket_option(p_status)
+
+    p_wait = sub.add_parser("wait", help="block until a job finishes")
+    p_wait.add_argument("job")
+    p_wait.add_argument("--tenant", default=None)
+    p_wait.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="bound the wait daemon-side (default: unbounded)",
+    )
+    p_wait.add_argument(
+        "--rows",
+        action="store_true",
+        help="also print the per-cell telemetry rows",
+    )
+    p_wait.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="exit 0 even when some cells failed",
+    )
+    _add_socket_option(p_wait)
+
     p_metrics = sub.add_parser(
         "metrics",
         help="observability sweep: per-benchmark x per-engine breakdown",
@@ -1252,6 +1612,10 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "manifest": _cmd_manifest,
     "query": _cmd_query,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "wait": _cmd_wait,
     "metrics": _cmd_metrics,
     "detect": _cmd_detect,
     "report": _cmd_report,
@@ -1266,6 +1630,13 @@ def main(argv=None):
     except _CliError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C: the runner has already discarded its pool (queued
+        # chunks cancelled, workers exited quietly) and flushed store
+        # totals on the way out -- exit with the conventional 130
+        # instead of a pile of concurrent.futures tracebacks.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # stdout or stderr was piped into something like `head` that
         # went away (the failure summary goes to stderr, so both can

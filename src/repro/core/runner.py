@@ -61,7 +61,6 @@ import pickle
 import signal
 import threading
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -239,48 +238,42 @@ class _DeadlineExpired(BaseException):
     """
 
 
-#: One-time latch for the cannot-enforce-deadline warning; the metrics
-#: counter (``runner.deadline_unenforced``) still counts every skip.
-_DEADLINE_WARNED = False
-
-
-def _deadline_unenforceable(reason):
-    global _DEADLINE_WARNED
-    METRICS.inc("runner.deadline_unenforced")
-    if not _DEADLINE_WARNED:
-        _DEADLINE_WARNED = True
-        warnings.warn(
-            "per-job deadline cannot be enforced (%s); jobs run unbounded "
-            "(counted in metrics as runner.deadline_unenforced)" % reason,
-            RuntimeWarning,
-            stacklevel=3,
-        )
-
-
 def _call_with_deadline(func, deadline):
     """Run ``func()`` under a wall-clock watchdog of ``deadline`` seconds.
 
-    Uses ``SIGALRM``/``setitimer``, so enforcement needs the calling
-    thread to be the process's main thread (true for pool workers and
-    for the CLI).  Where the watchdog cannot be armed -- no
-    ``setitimer``, or off the main thread -- the call still runs, but
-    the skip is *surfaced*: a one-time ``RuntimeWarning`` plus an
-    unconditional ``runner.deadline_unenforced`` metrics count, never a
-    silent unbounded run.  Raises :class:`_DeadlineExpired` on expiry.
+    Full enforcement uses ``SIGALRM``/``setitimer``, which needs the
+    calling thread to be its process's main thread -- true for the CLI
+    and, unconditionally, for pool workers: each worker re-arms the
+    alarm per job inside its chunk loop, on its own main thread, so
+    jobs dispatched *by* any thread (the experiment service's
+    scheduler included) are still hard-bounded inside the pool.
 
-    Any pre-existing ``ITIMER_REAL`` is restored on exit with its
-    remaining time (not merely the handler), so a nested use -- e.g. a
-    caller running the runner under its own alarm -- keeps its own
-    deadline ticking.
+    Where the alarm cannot be armed -- no ``setitimer``, or off the
+    main thread, as in the service's in-parent serial fallback -- the
+    watchdog degrades to a *wall-clock check*: the job runs, but an
+    overrun still raises :class:`_DeadlineExpired` (becoming a
+    ``timeout`` record) instead of silently passing, and the degraded
+    mode is counted as ``runner.deadline_softcheck``.  A soft check
+    cannot interrupt a wedged job; the pool path's hard harvest cap
+    covers that case.
+
+    Raises :class:`_DeadlineExpired` on expiry.  Any pre-existing
+    ``ITIMER_REAL`` is restored on exit with its remaining time (not
+    merely the handler), so a nested use -- e.g. a caller running the
+    runner under its own alarm -- keeps its own deadline ticking.
     """
     if not deadline or deadline <= 0:
         return func()
-    if not hasattr(signal, "setitimer"):
-        _deadline_unenforceable("signal.setitimer is unavailable")
-        return func()
-    if threading.current_thread() is not threading.main_thread():
-        _deadline_unenforceable("not on the main thread")
-        return func()
+    if (
+        not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        METRICS.inc("runner.deadline_softcheck")
+        started = time.monotonic()
+        result = func()
+        if time.monotonic() - started > deadline:
+            raise _DeadlineExpired()
+        return result
 
     def _on_alarm(signum, frame):
         raise _DeadlineExpired()
@@ -387,6 +380,15 @@ def _init_worker(
     chunks arriving later find a warm process and pay only kernel
     time."""
     global _WORKER_HARNESS, _WORKER_DEADLINE
+    # Ctrl-C teardown is the parent's decision: a terminal SIGINT fans
+    # out to the whole process group, and the default handler would
+    # make every worker spew a KeyboardInterrupt traceback mid-chunk.
+    # Exit immediately and quietly instead -- the parent is already
+    # unwinding and discards the (now broken) pool.
+    try:
+        signal.signal(signal.SIGINT, lambda signum, frame: os._exit(130))
+    except (OSError, ValueError):
+        pass
     _WORKER_HARNESS = Harness(timing=timing, max_insns=max_insns)
     _WORKER_DEADLINE = deadline
     _WORKER_BENCHMARKS.clear()
@@ -691,7 +693,25 @@ class ExperimentRunner:
         individual cells did -- failures surface as ``crashed``/
         ``timeout``/``error`` statuses (and in ``last_stats``), never
         as a lost grid.
+
+        ``KeyboardInterrupt`` is the one failure that *does* abort the
+        grid -- but cleanly: the pool is discarded with its queued
+        chunks cancelled (workers exit quietly, no
+        ``concurrent.futures`` traceback spew), persistent-store
+        totals are flushed, and the interrupt propagates for the
+        caller to exit 130.
         """
+        try:
+            return self._run_grid(specs)
+        except KeyboardInterrupt:
+            self._discard_pool()
+            try:
+                self._fold_store_totals()
+            except Exception:
+                pass
+            raise
+
+    def _run_grid(self, specs):
         specs = [spec if isinstance(spec, JobSpec) else JobSpec(*spec) for spec in specs]
         self._exec_stats = self._fresh_exec_stats()
         self._pool_stats = self._fresh_pool_stats()

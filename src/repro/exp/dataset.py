@@ -108,15 +108,20 @@ class Dataset(DirectoryStore):
     def append(self, row):
         """Append one row (keyed by its ``cell`` fingerprint).
 
-        Append-only: if the cell already has a row, the existing row is
-        kept untouched and ``False`` is returned -- history never gets
-        rewritten by a re-run.
+        Append-only *and* race-safe: if the cell already has a row --
+        including one that appeared between the existence probe and the
+        write, as happens when two resolvers (the experiment service
+        plus a CLI run, or two concurrent manifest runs) store the same
+        cell -- the existing row is kept untouched, this writer's temp
+        file is discarded, and ``False`` is returned.  History never
+        gets rewritten, ``stores`` totals never double-count a cell,
+        and :meth:`~repro.storage.DirectoryStore.scan` sees exactly one
+        row per cell.
         """
         cell_id = row["cell"]
         if self.contains(cell_id):
             return False
-        self.put(cell_id, row)
-        return True
+        return self.put_new(cell_id, row)
 
     def remove(self, cell_id):
         """Delete one row (the resumability escape hatch: a removed

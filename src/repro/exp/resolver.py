@@ -161,7 +161,19 @@ class DatasetResolver:
             pending.append(spec)
 
         # Execute (and cache/fan out/fault-isolate) the rest.
-        pending_results = self.runner.run(pending)
+        try:
+            pending_results = self.runner.run(pending)
+        except KeyboardInterrupt:
+            # The runner already tore its pool down and flushed the
+            # cache/code-store totals; flush the dataset's own session
+            # counters too so an interrupted run leaves consistent
+            # accounting, then keep unwinding (the CLI exits 130).
+            if self.dataset is not None:
+                try:
+                    self.dataset.fold_totals()
+                except OSError:
+                    pass
+            raise
 
         # Append newly executed cells to the dataset, provenance-stamped.
         appended = 0

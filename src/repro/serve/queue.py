@@ -1,0 +1,157 @@
+"""Per-tenant fair scheduling for the experiment service.
+
+:class:`FairQueue` is the daemon's work queue: items (work slices --
+small batches of grid cells) are pushed under a *tenant* (client id)
+with a *priority*, and popped in weighted-round-robin order across
+tenants -- a tenant submitting a thousand-cell sweep delays its own
+later cells, not another tenant's interactive probe.  Within one
+tenant, higher ``--priority`` wins and equal priorities run FIFO, so
+a tenant can lane-split its own traffic without affecting anyone
+else's share.
+
+Scheduling shape:
+
+- each tenant holds one priority heap ordered ``(-priority, seq)``;
+- the queue keeps a weighted round-robin *schedule* over tenants --
+  a tenant with weight 3 appears three times per cycle -- rebuilt
+  whenever the tenant set or a weight changes (first-submission order
+  is preserved, so the schedule is deterministic);
+- :meth:`pop` serves the next schedule slot whose tenant has queued
+  work, skipping idle tenants without consuming their turn's
+  fairness: the cursor always advances past the *served* slot, so two
+  equal-weight tenants with queued work strictly alternate.
+
+Thread-safe: producers are the daemon's per-connection threads,
+the consumer is the scheduler thread; everything synchronises on one
+condition variable.
+"""
+
+import heapq
+import threading
+
+
+class QueueClosed(Exception):
+    """Raised by :meth:`FairQueue.push` after :meth:`FairQueue.close`."""
+
+
+class FairQueue:
+    """A closable, weighted-fair, per-tenant priority queue."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._heaps = {}  # tenant -> [(-priority, seq, item), ...]
+        self._weights = {}  # tenant -> int >= 1
+        self._order = []  # tenants in first-seen order
+        self._schedule = []  # weighted round-robin expansion of _order
+        self._cursor = 0
+        self._seq = 0
+        self._size = 0
+        self._closed = False
+
+    # -- producer side -----------------------------------------------------
+    def set_weight(self, tenant, weight):
+        """Pin a tenant's fair-share weight (default 1; min 1)."""
+        with self._cond:
+            self._weights[str(tenant)] = max(1, int(weight))
+            if str(tenant) in self._heaps:
+                self._rebuild_schedule()
+
+    def push(self, tenant, item, priority=0):
+        """Enqueue one item for ``tenant``; higher ``priority`` pops
+        first within that tenant's share."""
+        tenant = str(tenant)
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            heap = self._heaps.get(tenant)
+            if heap is None:
+                heap = self._heaps[tenant] = []
+                self._order.append(tenant)
+                self._rebuild_schedule()
+            self._seq += 1
+            heapq.heappush(heap, (-int(priority), self._seq, item))
+            self._size += 1
+            self._cond.notify()
+
+    # -- consumer side -----------------------------------------------------
+    def pop(self, timeout=None):
+        """The next item in fair order, blocking up to ``timeout``
+        seconds; ``None`` when the wait expires or the queue is closed
+        and empty."""
+        with self._cond:
+            while True:
+                if self._size:
+                    return self._pop_locked()
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def _pop_locked(self):
+        # Serve the first schedule slot (from the cursor) whose tenant
+        # has work; advance the cursor past the served slot only, so
+        # skipped idle tenants keep their place in the cycle.
+        for probe in range(len(self._schedule)):
+            slot = (self._cursor + probe) % len(self._schedule)
+            heap = self._heaps.get(self._schedule[slot])
+            if heap:
+                self._cursor = (slot + 1) % len(self._schedule)
+                _neg_priority, _seq, item = heapq.heappop(heap)
+                self._size -= 1
+                return item
+        raise AssertionError("size/schedule accounting diverged")
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self):
+        """Refuse new pushes; queued items still pop until empty."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def cancel_pending(self):
+        """Drop and return every queued item (drain support), in an
+        arbitrary but tenant-grouped order."""
+        with self._cond:
+            dropped = []
+            for heap in self._heaps.values():
+                dropped.extend(item for _p, _s, item in heap)
+                heap.clear()
+            self._size = 0
+            self._cond.notify_all()
+            return dropped
+
+    # -- introspection -----------------------------------------------------
+    def depth(self):
+        with self._cond:
+            return self._size
+
+    def tenants(self):
+        """Tenants with queued work right now."""
+        with self._cond:
+            return [t for t in self._order if self._heaps.get(t)]
+
+    @property
+    def closed(self):
+        with self._cond:
+            return self._closed
+
+    def _rebuild_schedule(self):
+        schedule = []
+        for tenant in self._order:
+            schedule.extend([tenant] * self._weights.get(tenant, 1))
+        # Keep the cursor pointing at a stable position: a rebuild
+        # restarts the cycle, which is fair enough at tenant-arrival
+        # frequency and keeps the invariant trivial.
+        self._schedule = schedule
+        self._cursor = 0
+
+    def __len__(self):
+        return self.depth()
+
+    def __repr__(self):
+        with self._cond:
+            return "FairQueue(%d queued, %d tenant(s)%s)" % (
+                self._size,
+                len(self._order),
+                ", closed" if self._closed else "",
+            )

@@ -17,20 +17,32 @@ Two layers of accounting:
 - **persistent totals** live in a ``_totals.json`` file at the store
   root (never mistaken for an entry: entries only live in the
   two-character fan-out subdirectories).  :meth:`fold_totals` folds a
-  session delta in with a read-add-replace over an atomic rename --
-  callers fold once per run (the experiment runner does this for the
-  parent *and* every pool worker's shipped delta), so ``repro cache
-  stats`` reports activity across all processes, not just the parent.
+  session delta in with a read-add-replace over an atomic rename,
+  serialised across processes by an advisory ``fcntl.flock`` on a
+  sidecar ``_totals.lock`` file -- so two concurrent runners (or the
+  experiment service plus a CLI run on the same store) never lose each
+  other's deltas.  Callers fold once per run (the experiment runner
+  does this for the parent *and* every pool worker's shipped delta),
+  so ``repro cache stats`` reports activity across all processes, not
+  just the parent.
 """
 
 import json
 import os
 import tempfile
 
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 from repro.obs.metrics import METRICS
 
 #: The persistent-totals file at the store root.
 TOTALS_FILENAME = "_totals.json"
+
+#: Sidecar advisory-lock file serialising concurrent totals folds.
+TOTALS_LOCKFILE = "_totals.lock"
 
 #: The session-counter vocabulary (also the totals-file schema).
 SESSION_KEYS = ("hits", "misses", "stores", "quarantined")
@@ -152,6 +164,40 @@ class DirectoryStore:
         self.stores += 1
         self._record("stores")
 
+    def put_new(self, key, value):
+        """Store a value only if the key has no entry yet.
+
+        The exclusive-create counterpart of :meth:`put` for append-only
+        stores: the value is encoded to a temp file and *linked* into
+        place, so when two writers race the same key exactly one link
+        succeeds -- the loser observes the existing entry, discards its
+        temp file, and returns ``False`` without counting a store.
+        """
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            self._write_entry(fd, value)
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                return False
+            except OSError:
+                # Filesystem without hard links: degrade to a checked
+                # replace (a window remains, but the entry content for
+                # one key is identical across writers by construction).
+                if os.path.exists(path):
+                    return False
+                os.replace(tmp, path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        self.stores += 1
+        self._record("stores")
+        return True
+
     # ------------------------------------------------------------------
     def session_stats(self):
         """This process's counters (a delta suitable for fold_totals)."""
@@ -174,36 +220,67 @@ class DirectoryStore:
             return dict.fromkeys(SESSION_KEYS, 0)
         return {key: int(payload.get(key, 0)) for key in SESSION_KEYS}
 
+    def _fold_lock(self):
+        """An exclusively-flocked descriptor on the sidecar lock file,
+        or ``None`` where advisory locks are unavailable (the fold then
+        degrades to the bare atomic replace)."""
+        if fcntl is None:
+            return None
+        try:
+            fd = os.open(
+                os.path.join(self.root, TOTALS_LOCKFILE),
+                os.O_CREAT | os.O_RDWR,
+                0o644,
+            )
+        except OSError:
+            return None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            os.close(fd)
+            return None
+        return fd
+
     def fold_totals(self, delta=None):
         """Fold a session delta into ``_totals.json`` and return the new
         totals.
 
         ``delta`` defaults to this instance's session counters.  The
-        fold is read-add-replace through an atomic rename: concurrent
-        folds cannot tear the file (one of them wins whole); callers
-        fold once per run, so the window for losing a concurrent
-        increment is negligible against a lossy alternative of
-        parent-only counting.
+        fold is read-add-replace through an atomic rename, guarded by
+        an advisory ``fcntl.flock`` on a sidecar lock file: the rename
+        alone keeps the file from tearing, but two concurrent folds
+        would both read the same base and the second replace would
+        silently drop the first's delta -- with the lock held across
+        read-add-replace, every delta lands exactly once however many
+        runners share the store.
         """
         if delta is None:
             delta = self.session_stats()
         if not any(int(delta.get(key, 0)) for key in SESSION_KEYS):
             return self.totals()
-        totals = self.totals()
-        for key in SESSION_KEYS:
-            totals[key] += int(delta.get(key, 0))
         os.makedirs(self.root, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        lock_fd = self._fold_lock()
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(totals, fh, sort_keys=True)
-            os.replace(tmp, self._totals_path())
-        except BaseException:
+            totals = self.totals()
+            for key in SESSION_KEYS:
+                totals[key] += int(delta.get(key, 0))
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(totals, fh, sort_keys=True)
+                os.replace(tmp, self._totals_path())
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        finally:
+            if lock_fd is not None:
+                try:
+                    fcntl.flock(lock_fd, fcntl.LOCK_UN)
+                finally:
+                    os.close(lock_fd)
         return totals
 
     # ------------------------------------------------------------------
@@ -250,10 +327,11 @@ class DirectoryStore:
                 removed += 1
             except OSError:
                 pass
-        try:
-            os.unlink(self._totals_path())
-        except OSError:
-            pass
+        for name in (TOTALS_FILENAME, TOTALS_LOCKFILE):
+            try:
+                os.unlink(os.path.join(self.root, name))
+            except OSError:
+                pass
         return removed
 
     def __repr__(self):

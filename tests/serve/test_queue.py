@@ -1,0 +1,177 @@
+"""FairQueue scheduling-order and lifecycle tests."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import FairQueue, QueueClosed
+
+
+def drain(queue):
+    items = []
+    while True:
+        item = queue.pop(timeout=0)
+        if item is None:
+            return items
+        items.append(item)
+
+
+class TestOrdering:
+    def test_single_tenant_fifo(self):
+        queue = FairQueue()
+        for n in range(5):
+            queue.push("a", n)
+        assert drain(queue) == [0, 1, 2, 3, 4]
+
+    def test_priority_wins_within_tenant(self):
+        queue = FairQueue()
+        queue.push("a", "low", priority=0)
+        queue.push("a", "high", priority=5)
+        queue.push("a", "mid", priority=3)
+        assert drain(queue) == ["high", "mid", "low"]
+
+    def test_equal_priority_stays_fifo(self):
+        queue = FairQueue()
+        queue.push("a", "first", priority=1)
+        queue.push("a", "second", priority=1)
+        assert drain(queue) == ["first", "second"]
+
+    def test_two_tenants_strictly_alternate(self):
+        queue = FairQueue()
+        for n in range(3):
+            queue.push("a", "a%d" % n)
+        for n in range(3):
+            queue.push("b", "b%d" % n)
+        assert drain(queue) == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_priority_is_per_tenant_not_global(self):
+        # b's high priority reorders b's own lane; a still gets every
+        # other slot.
+        queue = FairQueue()
+        queue.push("a", "a0", priority=0)
+        queue.push("a", "a1", priority=0)
+        queue.push("b", "b-low", priority=0)
+        queue.push("b", "b-high", priority=9)
+        assert drain(queue) == ["a0", "b-high", "a1", "b-low"]
+
+    def test_weighted_tenant_gets_proportional_share(self):
+        queue = FairQueue()
+        queue.set_weight("a", 2)
+        for n in range(4):
+            queue.push("a", "a%d" % n)
+        for n in range(2):
+            queue.push("b", "b%d" % n)
+        assert drain(queue) == ["a0", "a1", "b0", "a2", "a3", "b1"]
+
+    def test_idle_tenant_does_not_block(self):
+        queue = FairQueue()
+        queue.push("a", "a0")
+        queue.push("b", "b0")
+        assert queue.pop(timeout=0) == "a0"
+        assert queue.pop(timeout=0) == "b0"
+        # b is now idle; a's later work must still flow.
+        queue.push("a", "a1")
+        queue.push("a", "a2")
+        assert drain(queue) == ["a1", "a2"]
+
+    def test_late_tenant_joins_the_cycle(self):
+        queue = FairQueue()
+        for n in range(4):
+            queue.push("a", "a%d" % n)
+        assert queue.pop(timeout=0) == "a0"
+        queue.push("b", "b0")
+        served = drain(queue)
+        assert served.index("b0") < len(served) - 1  # not starved to the end
+
+
+class TestLifecycle:
+    def test_pop_timeout_returns_none(self):
+        queue = FairQueue()
+        assert queue.pop(timeout=0.01) is None
+
+    def test_push_after_close_raises(self):
+        queue = FairQueue()
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.push("a", 1)
+
+    def test_close_drains_queued_items_then_none(self):
+        queue = FairQueue()
+        queue.push("a", 1)
+        queue.close()
+        assert queue.pop(timeout=0) == 1
+        assert queue.pop(timeout=None) is None  # closed+empty: no block
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = FairQueue()
+        seen = []
+
+        def consume():
+            seen.append(queue.pop(timeout=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert seen == [None]
+
+    def test_cancel_pending_returns_everything(self):
+        queue = FairQueue()
+        queue.push("a", 1)
+        queue.push("b", 2)
+        queue.push("a", 3)
+        dropped = queue.cancel_pending()
+        assert sorted(dropped) == [1, 2, 3]
+        assert queue.depth() == 0
+        assert len(queue) == 0
+
+    def test_depth_and_tenants_track_queued_work(self):
+        queue = FairQueue()
+        assert queue.tenants() == []
+        queue.push("a", 1)
+        queue.push("b", 2)
+        assert queue.depth() == 2
+        assert queue.tenants() == ["a", "b"]
+        queue.pop(timeout=0)
+        assert queue.tenants() == ["b"]
+
+    def test_repr_mentions_state(self):
+        queue = FairQueue()
+        queue.push("a", 1)
+        queue.close()
+        text = repr(queue)
+        assert "1 queued" in text and "closed" in text
+
+    def test_producer_consumer_threads(self):
+        queue = FairQueue()
+        total = 200
+        got = []
+
+        def consume():
+            while len(got) < total:
+                item = queue.pop(timeout=2.0)
+                if item is None:
+                    return
+                got.append(item)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+
+        def produce(tenant):
+            for n in range(total // 2):
+                queue.push(tenant, (tenant, n))
+
+        producers = [
+            threading.Thread(target=produce, args=(t,)) for t in ("a", "b")
+        ]
+        for p in producers:
+            p.start()
+        for p in producers:
+            p.join()
+        consumer.join(timeout=5.0)
+        assert len(got) == total
+        # Per-tenant FIFO survives the race.
+        for tenant in ("a", "b"):
+            lane = [n for t, n in got if t == tenant]
+            assert lane == sorted(lane)

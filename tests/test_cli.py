@@ -355,3 +355,72 @@ class TestBrokenPipe:
         monkeypatch.setattr(_sys, "stdout", io.StringIO())
         monkeypatch.setattr(_sys, "stderr", io.StringIO())
         assert main(["list"]) == 0
+
+
+class TestServeCommands:
+    def test_submit_without_daemon_exits_1(self, tmp_path, capsys):
+        sock = str(tmp_path / "nothing.sock")
+        assert main(["submit", "smoke", "--socket", sock]) == 1
+        assert "no daemon" in capsys.readouterr().err
+
+    def test_status_without_daemon_exits_1(self, tmp_path, capsys):
+        sock = str(tmp_path / "nothing.sock")
+        assert main(["status", "--socket", sock]) == 1
+        assert "no daemon" in capsys.readouterr().err
+
+    def test_submit_needs_a_manifest_or_adhoc(self, tmp_path, capsys):
+        sock = str(tmp_path / "nothing.sock")
+        assert main(["submit", "--socket", sock]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_bad_tenant_weight_exits_2(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--socket",
+                    str(tmp_path / "s.sock"),
+                    "--tenant-weight",
+                    "broken",
+                ]
+            )
+            == 2
+        )
+        assert "TENANT=WEIGHT" in capsys.readouterr().err
+
+    def test_submit_and_wait_against_a_live_service(self, tmp_path, capsys):
+        from repro.serve import ExperimentService
+
+        sock = str(tmp_path / "serve.sock")
+        with ExperimentService(
+            socket_path=sock, dataset_dir=str(tmp_path / "ds")
+        ).start():
+            assert (
+                main(
+                    [
+                        "submit",
+                        "--adhoc",
+                        "--sims",
+                        "simit",
+                        "--benchmarks",
+                        "system-call",
+                        "--iterations",
+                        "4",
+                        "--wait",
+                        "--timeout",
+                        "60",
+                        "--socket",
+                        sock,
+                    ]
+                )
+                == 0
+            )
+            captured = capsys.readouterr()
+            assert "submitted j0001" in captured.err
+            assert "j0001" in captured.out
+            assert main(["status", "--socket", sock]) == 0
+            assert "done" in capsys.readouterr().out
+            assert main(["wait", "j0001", "--rows", "--socket", sock]) == 0
+            out = capsys.readouterr().out
+            assert "j0001" in out
+            assert "System Call" in out
